@@ -1,0 +1,26 @@
+"""Shared benchmark configuration.
+
+Every harness runs the scaled machine configuration below — large
+enough for the paper's dynamics to play out, small enough that the full
+bench suite completes in minutes.  Each benchmark executes its
+experiment exactly once (``rounds=1``): the timed quantity is the whole
+experiment, and the printed tables/series are the reproduction output
+to compare against the paper.
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+#: the machine configuration all figure/table benches run
+BENCH_CONFIG = ExperimentConfig(num_pages=12288, batches=36, batch_size=12288)
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    return BENCH_CONFIG
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

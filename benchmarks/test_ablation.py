@@ -1,0 +1,38 @@
+"""Ablations of NeoProf design choices (beyond the paper's figures)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import ablation
+
+
+def test_hot_bit_filter_prevents_duplicate_floods(benchmark, bench_config):
+    result = run_once(benchmark, ablation.run_filter_ablation, bench_config)
+    print()
+    print(
+        "Hot-bit filter ablation (GUPS stream, 4K-entry FIFO):\n"
+        f"  with filter   : {result.queued_with_filter} queued, "
+        f"{result.dropped_with_filter} dropped\n"
+        f"  without filter: {result.queued_without_filter} queued, "
+        f"{result.dropped_without_filter} dropped"
+    )
+    # Without dedup, repeated reports flood the FIFO and force drops;
+    # with it, each hot page is reported once per clear window.
+    assert result.dropped_without_filter > result.dropped_with_filter
+    assert result.queued_without_filter > result.queued_with_filter
+
+
+def test_error_bound_check_protects_undersized_sketch(benchmark, bench_config):
+    result = run_once(benchmark, ablation.run_bound_ablation, bench_config)
+    print()
+    print(
+        f"Error-bound ablation (W={result.sketch_width}):\n"
+        f"  tight bound (histogram): {result.tight_bound:.0f} counts\n"
+        f"  loose bound (eps*N)    : {result.loose_bound:.0f} counts\n"
+        f"  theta without check    : {result.threshold_without_check:.0f}\n"
+        f"  theta with check       : {result.threshold_with_check:.0f}"
+    )
+    # the tight bound is far below the classical worst case (Sec. IV-B)
+    assert result.tight_bound < result.loose_bound
+    # the clamp raises the threshold above what the unchecked policy
+    # would use when the sketch is saturated with collisions
+    assert result.threshold_with_check >= result.threshold_without_check
+    assert result.threshold_with_check > result.tight_bound

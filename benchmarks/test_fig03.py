@@ -1,0 +1,35 @@
+"""Figure 3: CXL hardware characterization (latency ladder + slowdown)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig03
+from repro.experiments.reporting import format_table
+
+
+def test_fig03a_latency_ladder(benchmark, bench_config):
+    rungs = run_once(benchmark, fig03.run_fig03a)
+    print()
+    print(
+        format_table(
+            ["tier", "read latency (ns)", "vs local"],
+            [(r.name, r.read_latency_ns, f"{r.ratio_vs_local:.2f}x") for r in rungs],
+            title="Fig 3(a): memory latency comparison",
+        )
+    )
+    # local < ideal CXL < prototype; prototype ~3.6x local
+    assert rungs[0].read_latency_ns < rungs[1].read_latency_ns < rungs[2].read_latency_ns
+    assert 3.0 < rungs[2].ratio_vs_local < 4.2
+    assert 170 <= rungs[1].read_latency_ns <= 250
+
+
+def test_fig03b_slow_tier_slowdown(benchmark, bench_config):
+    slowdowns = run_once(benchmark, fig03.run_fig03b, bench_config)
+    print()
+    print(
+        format_table(
+            ["workload", "slowdown on CXL-only (%)"],
+            sorted(slowdowns.items(), key=lambda kv: kv[1]),
+            title="Fig 3(b): slowdown when bound to the slow tier",
+        )
+    )
+    # every benchmark slows meaningfully when bound to CXL (paper: 64-295 %)
+    assert fig03.expected_shape_fig03b(slowdowns)

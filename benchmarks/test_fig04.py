@@ -1,0 +1,69 @@
+"""Figure 4: profiling-mechanism evaluation (DAMON frontier, TLB-vs-LLC
+dispersion, PEBS overhead curve)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig04
+from repro.experiments.reporting import format_series, format_table
+
+
+def test_fig04a_pte_scan_frontier(benchmark, bench_config):
+    points = run_once(benchmark, fig04.run_fig04a, bench_config)
+    neoprof = fig04.run_fig04a_neoprof_point(bench_config)
+    print()
+    rows = [
+        (f"{p.sample_interval_ms:g}", p.num_regions, p.overhead_percent) for p in points
+    ]
+    rows.append(("per-request", neoprof.num_regions, neoprof.overhead_percent))
+    print(
+        format_table(
+            ["interval (ms)", "regions", "CPU overhead (%)"],
+            rows,
+            title="Fig 4(a): DAMON resolution/overhead frontier vs NeoProf",
+        )
+    )
+    # finer space resolution costs more at every interval
+    by_interval = {}
+    for p in points:
+        by_interval.setdefault(p.sample_interval_ms, []).append(p)
+    for interval, group in by_interval.items():
+        group.sort(key=lambda p: p.num_regions)
+        overheads = [p.overhead_percent for p in group]
+        assert overheads == sorted(overheads), f"interval {interval}"
+    # NeoProf sits at full resolution with ~zero overhead
+    assert neoprof.overhead_percent < 0.5
+    finest = max(points, key=lambda p: p.num_regions / max(p.sample_interval_ms, 1e-9))
+    assert neoprof.overhead_percent < finest.overhead_percent
+
+
+def test_fig04b_tlb_llc_dispersion(benchmark):
+    result = run_once(benchmark, fig04.run_fig04b)
+    print()
+    print(
+        f"Fig 4(b): Redis trace, {result.sampled_pages} pages; "
+        f"TLB-access vs LLC-miss Pearson r = {result.pearson_r:.3f}"
+    )
+    bins = [(int(t), int(l)) for t, l in zip(result.tlb_accesses[:12], result.llc_misses[:12])]
+    print(f"  sample (tlb, llc) pairs: {bins}")
+    # Challenge #2: TLB visibility correlates poorly with LLC misses
+    assert result.pearson_r < 0.7
+    assert result.sampled_pages > 100
+
+
+def test_fig04c_pebs_overhead_curve(benchmark, bench_config):
+    slowdowns = run_once(benchmark, fig04.run_fig04c, bench_config)
+    print()
+    intervals = sorted(slowdowns)
+    print(
+        format_series(
+            "Fig 4(c): PEBS slowdown",
+            intervals,
+            [slowdowns[i] for i in intervals],
+            x_label="sample interval",
+            y_label="slowdown %",
+        )
+    )
+    # slowdown falls monotonically with the interval; >50 % at 10
+    values = [slowdowns[i] for i in intervals]
+    assert values == sorted(values, reverse=True)
+    assert slowdowns[10] > 50.0
+    assert slowdowns[10000] < 1.0

@@ -1,0 +1,31 @@
+"""Figure 12: NeoMem vs PEBS across fast:slow memory ratios."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig12
+from repro.experiments.reporting import format_table
+
+
+def test_fig12_memory_ratios(benchmark, bench_config):
+    results = run_once(benchmark, fig12.run_fig12, bench_config)
+    norm = fig12.normalized_to_pebs(results)
+    print()
+    ratios = list(fig12.RATIOS)
+    rows = [
+        [workload] + [f"{norm[workload][r]:.3f}" for r in ratios]
+        for workload in norm
+    ]
+    print(
+        format_table(
+            ["workload"] + [f"1:{r[1]}" for r in ratios],
+            rows,
+            title="Fig 12: NeoMem performance normalized to PEBS per ratio",
+        )
+    )
+    # NeoMem >= PEBS at (nearly) every point; tiny noise tolerated
+    for workload, by_ratio in norm.items():
+        for ratio, value in by_ratio.items():
+            assert value > 0.95, (workload, ratio)
+    # NeoMem wins the mean at every ratio
+    for ratio in ratios:
+        mean = sum(norm[w][ratio] for w in norm) / len(norm)
+        assert mean > 1.0, ratio

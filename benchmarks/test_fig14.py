@@ -1,0 +1,61 @@
+"""Figure 14: NeoMem profiled on Page-Rank (threshold dynamics)."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig14
+from repro.experiments.reporting import format_series, format_table, sparkline
+
+
+def test_fig14a_dynamic_vs_fixed_threshold(benchmark, bench_config):
+    profiles = run_once(benchmark, fig14.run_fig14a, bench_config)
+    print()
+    names = list(profiles)
+    iterations = len(profiles["dynamic"].iteration_times_s)
+    rows = []
+    for it in range(iterations):
+        rows.append(
+            [it + 1]
+            + [f"{profiles[n].iteration_times_s[it] * 1e3:.2f}" for n in names]
+        )
+    print(
+        format_table(
+            ["iteration"] + names,
+            rows,
+            title="Fig 14(a): per-iteration time (ms), dynamic vs fixed theta",
+        )
+    )
+    totals = {n: p.report.total_time_s for n, p in profiles.items()}
+    print("totals (ms):", {n: f"{t * 1e3:.2f}" for n, t in totals.items()})
+    # dynamic matches or beats every fixed threshold
+    assert fig14.dynamic_wins(profiles)
+    # a badly chosen fixed theta is dramatically worse
+    worst = max(t for n, t in totals.items() if n != "dynamic")
+    assert worst > totals["dynamic"] * 1.2
+
+
+def test_fig14bcd_timelines(benchmark, bench_config):
+    profile = run_once(benchmark, fig14.run_pagerank, "neomem", bench_config)
+    print()
+    thresholds = [theta for _, theta in profile.threshold_timeline]
+    times = [t for t, _ in profile.threshold_timeline]
+    print(format_series("Fig 14(b): theta(t)", times, thresholds, "t(s)", "theta"))
+    utils = [u for _, u, _ in profile.bandwidth_timeline]
+    print(format_series(
+        "Fig 14(c): CXL bandwidth utilization", times, utils, "t(s)", "util"
+    ))
+    print("Fig 14(d): histogram strips (each row = one update, left=cold bins):")
+    for t, counts in profile.histogram_strips[:10]:
+        print(f"  t={t * 1e3:7.2f}ms  {sparkline(np.log1p(counts).tolist(), width=48)}")
+
+    # the threshold moves (dynamic adjustment is alive) and stays >= 1
+    assert len(set(thresholds)) > 1
+    assert all(theta >= 1 for theta in thresholds)
+    # bandwidth utilization is populated and sane
+    assert utils and all(0.0 <= u <= 1.0 for u in utils)
+    # promotion relieves CXL pressure over the run (Fig 14-c's story)
+    assert np.mean(utils[-3:]) <= np.mean(utils[:3]) + 1e-9
+    # histogram strips carry the full sketch row population
+    assert profile.histogram_strips
+    width = bench_config.neoprof_config().sketch_width
+    assert all(int(c.sum()) == width for _, c in profile.histogram_strips)

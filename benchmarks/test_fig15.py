@@ -1,0 +1,77 @@
+"""Figure 15: sensitivity to system and NeoProf parameters."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig15
+from repro.experiments.reporting import format_series
+
+
+def test_fig15a_migration_interval(benchmark, bench_config):
+    perf = run_once(benchmark, fig15.run_fig15a, bench_config)
+    print()
+    intervals = sorted(perf)
+    print(format_series(
+        "Fig 15(a): perf vs migration interval",
+        [i * 1e3 for i in intervals],
+        [perf[i] for i in intervals],
+        "interval (ms)", "norm perf",
+    ))
+    # shorter intervals win; the coarsest interval is clearly worst
+    assert perf[intervals[0]] >= perf[intervals[-1]]
+    assert perf[intervals[-1]] < 0.9
+    # the two shortest intervals are near-optimal (the paper's point:
+    # only a low-overhead profiler can afford them)
+    assert perf[intervals[0]] > 0.97
+    assert perf[intervals[1]] > 0.95
+
+
+def test_fig15b_migration_quota(benchmark, bench_config):
+    perf = run_once(benchmark, fig15.run_fig15b, bench_config)
+    print()
+    quotas = sorted(perf)
+    print(format_series(
+        "Fig 15(b): perf vs migration quota",
+        [q / 2**30 for q in quotas],
+        [perf[q] for q in quotas],
+        "quota (GiB/s)", "norm perf",
+    ))
+    # starving the migration path hurts (paper: 64 MB/s ~10 % worse)
+    assert perf[quotas[0]] < 0.95
+    # a mid-range quota is at or near the optimum
+    mid = quotas[len(quotas) // 2]
+    assert perf[mid] > 0.9
+    # the largest quota gains nothing meaningful over mid-range
+    assert perf[quotas[-1]] <= perf[mid] + 0.05
+
+
+def test_fig15c_error_bound_vs_width(benchmark, bench_config):
+    bounds = run_once(benchmark, fig15.run_fig15c, bench_config)
+    print()
+    widths = sorted(bounds)
+    print(format_series(
+        "Fig 15(c): tight error bound vs sketch width",
+        widths,
+        [bounds[w] for w in widths],
+        "W", "error bound",
+    ))
+    values = [bounds[w] for w in widths]
+    # the bound falls monotonically with width and is ~0 at the largest
+    assert values == sorted(values, reverse=True)
+    assert values[-1] <= 1.0
+    assert values[0] > values[-1]
+
+
+def test_fig15d_performance_vs_width(benchmark, bench_config):
+    perf = run_once(benchmark, fig15.run_fig15d, bench_config)
+    print()
+    widths = sorted(perf)
+    print(format_series(
+        "Fig 15(d): perf vs sketch width",
+        widths,
+        [perf[w] for w in widths],
+        "W", "norm perf",
+    ))
+    # wide sketches perform at least as well as the narrowest
+    assert perf[widths[-1]] >= perf[widths[0]] - 0.02
+    # performance is near-peak from the mid widths up (paper: peaks at
+    # 256K of 32K-512K; half-scale here)
+    assert perf[widths[-1]] > 0.95

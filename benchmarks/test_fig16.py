@@ -1,0 +1,39 @@
+"""Figure 16: GUPS convergence analysis with a hot-set relocation."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig16
+from repro.experiments.reporting import format_table, sparkline
+
+
+def test_fig16_convergence(benchmark, bench_config):
+    curves = run_once(
+        benchmark, fig16.run_fig16, bench_config, total_batches=72, relocate_at=36
+    )
+    print()
+    rows = []
+    for label, curve in curves.items():
+        recovery = curve.recovery_epochs()
+        rows.append(
+            (
+                label,
+                f"{curve.mean_before():.3e}",
+                "-" if recovery is None else recovery,
+            )
+        )
+    print(
+        format_table(
+            ["method", "converged GUPS (acc/s)", "recovery (epochs)"],
+            rows,
+            title="Fig 16: GUPS before the hot-set change and re-convergence",
+        )
+    )
+    for label, curve in curves.items():
+        print(f"  {label:11s} {sparkline(curve.throughput)}")
+
+    # NeoProf: highest converged throughput...
+    best_before = max(c.mean_before() for c in curves.values())
+    assert curves["neoprof"].mean_before() == best_before
+    # ...clearly above the no-tiering baseline...
+    assert curves["neoprof"].mean_before() > curves["baseline"].mean_before() * 1.5
+    # ...and the fastest to re-converge after the hot set moves
+    assert fig16.neoprof_converges_fastest(curves)

@@ -1,0 +1,34 @@
+"""Table VI: Transparent Huge Pages vs base pages on Page-Rank."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table06
+from repro.experiments.reporting import format_table
+
+
+def test_table06_thp(benchmark, bench_config):
+    rows = run_once(benchmark, table06.run_table06, bench_config)
+    print()
+    print(
+        format_table(
+            ["config", "generate (ms)", "build (ms)", "avg trail (ms)",
+             "total (ms)", "base MB", "huge MB"],
+            [
+                (r.system, r.generate_s * 1e3, r.build_s * 1e3,
+                 r.avg_trail_s * 1e3, r.total_s * 1e3,
+                 r.promoted_base_mb, r.promoted_huge_mb)
+                for r in rows
+            ],
+            title="Table VI: THP vs base pages on Page-Rank",
+        )
+    )
+    by_name = {r.system: r for r in rows}
+    # NeoMem-THP is the fastest configuration (paper: 76.3 s vs 81-105 s)
+    assert by_name["neomem-thp"].total_s == min(r.total_s for r in rows)
+    # NeoMem migrates a substantial volume of huge pages under THP
+    assert by_name["neomem-thp"].promoted_huge_mb > 0
+    # NeoMem beats TPP in both page-size modes
+    assert by_name["neomem-thp"].total_s < by_name["tpp-thp"].total_s
+    assert by_name["neomem-base"].total_s < by_name["tpp-base"].total_s
+    # base-page modes migrate no huge pages
+    assert by_name["neomem-base"].promoted_huge_mb == 0
+    assert by_name["tpp-base"].promoted_huge_mb == 0

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Capacity planning: how much fast memory does a workload really need?
+
+A downstream use the paper motivates: given a CXL expansion budget, how
+small can the DRAM tier be before tiering stops hiding the CXL latency?
+Sweeps fast:slow ratios for two contrasting workloads — skew-heavy Silo
+and streaming bwaves — under NeoMem, and reports the runtime cliff.
+
+Usage::
+
+    python examples/capacity_planning.py
+"""
+
+from repro import ExperimentConfig, run_one
+
+
+RATIOS = ((1, 1), (1, 2), (1, 4), (1, 8), (1, 16))
+
+
+def main() -> None:
+    base = ExperimentConfig(num_pages=12288, batches=36, batch_size=12288)
+    for workload in ("silo", "bwaves"):
+        print(f"\n{workload}: runtime vs fast-tier share under NeoMem")
+        results = {}
+        for ratio in RATIOS:
+            config = base.with_ratio(*ratio)
+            report = run_one(workload, "neomem", config)
+            results[ratio] = report
+        best = min(r.total_time_s for r in results.values())
+        for ratio, report in results.items():
+            share = ratio[0] / sum(ratio)
+            bar = "#" * int(40 * best / report.total_time_s)
+            print(
+                f"  fast={share:5.1%}  runtime={report.total_time_s * 1e3:7.2f} ms"
+                f"  (x{report.total_time_s / best:4.2f})  {bar}"
+            )
+        cliff = max(
+            (ratio for ratio, r in results.items() if r.total_time_s < best * 1.15),
+            key=lambda ratio: ratio[1],
+            default=RATIOS[0],
+        )
+        print(f"  -> smallest fast share within 15% of optimum: "
+              f"{cliff[0]}:{cliff[1]} (fast = {cliff[0] / sum(cliff):.1%})")
+
+
+if __name__ == "__main__":
+    main()

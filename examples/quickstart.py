@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""Quickstart: run one tiered-memory simulation and read the results.
+
+Runs the skewed GUPS benchmark under full NeoMem (NeoProf device +
+dynamic threshold + daemon) and under the no-migration first-touch
+baseline, then prints the comparison a user cares about: runtime,
+fast-tier hit ratio, promotion volume, and profiling overhead.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import ExperimentConfig, run_one
+
+
+def main() -> None:
+    config = ExperimentConfig(num_pages=12288, batches=36, batch_size=12288)
+
+    print("running GUPS under NeoMem and under first-touch NUMA...")
+    neomem = run_one("gups", "neomem", config)
+    baseline = run_one("gups", "first-touch", config)
+
+    for report in (neomem, baseline):
+        s = report.summary()
+        print(
+            f"\n[{s['policy']}]"
+            f"\n  runtime            : {s['runtime_s'] * 1e3:8.2f} ms"
+            f"\n  fast-tier hit ratio: {s['fast_hit_ratio']:8.2%}"
+            f"\n  pages promoted     : {s['promoted_pages']:8d}"
+            f"\n  slow-tier traffic  : {s['slow_traffic_bytes'] / 2**20:8.1f} MiB"
+            f"\n  profiling overhead : {s['profiling_overhead_s'] * 1e3:8.3f} ms"
+        )
+
+    speedup = baseline.total_time_s / neomem.total_time_s
+    print(f"\nNeoMem speedup over first-touch on skewed GUPS: {speedup:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""NeoMem reproduction: CXL-native memory tiering (MICRO 2024).
+
+A trace-driven reproduction of *NeoMem: Hardware/Software Co-Design for
+CXL-Native Memory Tiering* (Zhou, Chen, et al.).  The package provides:
+
+* :mod:`repro.core` — the paper's contribution: the NeoProf device-side
+  profiler (Count-Min sketch + hot bits + histogram + state monitor +
+  MMIO commands), its driver, the Algorithm-1 dynamic threshold policy,
+  and the NeoMem kernel daemon;
+* :mod:`repro.memsim` — the tiered-memory machine substrate (caches,
+  TLB, page tables, NUMA tiers, LRU-2Q, migration, epoch engine);
+* :mod:`repro.profilers` / :mod:`repro.policies` — the baseline
+  profiling techniques and tiering systems the paper compares against;
+* :mod:`repro.workloads` — synthetic trace generators for the
+  evaluation's benchmark suite;
+* :mod:`repro.experiments` — one harness per paper table/figure.
+
+Quickstart::
+
+    from repro import run_one, ExperimentConfig
+
+    report = run_one("gups", "neomem", ExperimentConfig())
+    print(report.summary())
+"""
+
+from repro.core import NeoMemConfig, NeoMemDaemon, NeoMemSysfs
+from repro.core.neoprof import CountMinSketch, NeoProfConfig, NeoProfDevice
+from repro.experiments import DEFAULT_CONFIG, ExperimentConfig, run_one
+from repro.memsim import EngineConfig, SimulationEngine, SimulationReport
+from repro.policies import POLICY_NAMES, make_policy
+from repro.workloads import BENCHMARKS, make_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "NeoMemConfig",
+    "NeoMemDaemon",
+    "NeoMemSysfs",
+    "CountMinSketch",
+    "NeoProfConfig",
+    "NeoProfDevice",
+    "DEFAULT_CONFIG",
+    "ExperimentConfig",
+    "run_one",
+    "EngineConfig",
+    "SimulationEngine",
+    "SimulationReport",
+    "POLICY_NAMES",
+    "make_policy",
+    "BENCHMARKS",
+    "make_workload",
+    "__version__",
+]

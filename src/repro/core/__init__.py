@@ -1,0 +1,29 @@
+"""NeoMem core: the paper's contribution.
+
+``repro.core`` holds everything the NeoMem paper adds on top of a
+standard tiered-memory kernel: the NeoProf device model
+(:mod:`repro.core.neoprof`), its driver, the Algorithm 1 dynamic
+threshold policy, the kernel daemon, and the sysfs knob surface.
+"""
+
+from repro.core.daemon import NeoMemConfig, NeoMemDaemon
+from repro.core.driver import NeoProfDriver
+from repro.core.policy import (
+    DynamicThresholdPolicy,
+    FixedThresholdPolicy,
+    ThresholdDecision,
+    ThresholdPolicyConfig,
+)
+from repro.core.sysfs import NeoMemSysfs, SysfsError
+
+__all__ = [
+    "NeoMemConfig",
+    "NeoMemDaemon",
+    "NeoProfDriver",
+    "DynamicThresholdPolicy",
+    "FixedThresholdPolicy",
+    "ThresholdDecision",
+    "ThresholdPolicyConfig",
+    "NeoMemSysfs",
+    "SysfsError",
+]

@@ -1,0 +1,203 @@
+"""NeoMem kernel daemon: the tiering control loop (Sections III & V).
+
+The daemon is the engine-facing policy object for full NeoMem.  Each
+epoch it lets the NeoProf device snoop the CXL request stream; on its
+configured intervals (Table V) it
+
+* every ``migration_interval`` (10 ms): drains the hot-page FIFO through
+  the driver and promotes those pages (kernel migration functions, quota
+  applied by the migration engine);
+* every ``thr_update_interval`` (1 s): reads the histogram and state
+  monitor and runs Algorithm 1 to retune the hotness threshold;
+* every ``clear_interval`` (5 s): resets NeoProf's counters so stale
+  history does not saturate the sketch;
+* keeps the fast tier's free headroom above a watermark by demoting the
+  coldest LRU-2Q pages (cold detection stays in software, Sec. III-A).
+
+CPU overhead charged to the workload is exactly the driver's MMIO time
+plus a per-migrated-page syscall cost — there is no scan, fault or
+sample processing, which is the point of the co-design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.driver import NeoProfDriver
+from repro.core.neoprof.device import NeoProfConfig, NeoProfDevice
+from repro.core.neoprof.histogram import tight_error_bound
+from repro.core.policy import DynamicThresholdPolicy, FixedThresholdPolicy, ThresholdPolicyConfig
+
+
+@dataclass
+class NeoMemConfig:
+    """Software parameters (Table V defaults)."""
+
+    migration_interval_s: float = 0.010
+    clear_interval_s: float = 5.0
+    thr_update_interval_s: float = 1.0
+    #: sketch confidence parameter for the tight error bound.
+    delta: float = 0.25
+    #: fast-node free-page fraction below which the daemon demotes.
+    demotion_watermark: float = 0.01
+    #: free fraction the demotion pass restores.
+    demotion_target: float = 0.03
+    #: host CPU cost of migrating one page via move_pages (ns).
+    syscall_ns_per_page: float = 300.0
+    #: Transparent Huge Pages (Table VI): when True, hot 4 KB reports
+    #: are coalesced and whole 2 MB pages migrate together, "provided
+    #: the profiled hot 4KB pages are part of huge pages".
+    thp: bool = False
+    #: hot base-page reports required before a huge page migrates.
+    thp_hot_reports: int = 2
+    threshold_policy: ThresholdPolicyConfig = field(default_factory=ThresholdPolicyConfig)
+
+
+@dataclass
+class _PeriodCounters:
+    """Promotion accounting between threshold updates."""
+
+    promoted: int = 0
+    ping_pong: int = 0
+
+    def reset(self) -> None:
+        self.promoted = 0
+        self.ping_pong = 0
+
+
+class NeoMemDaemon:
+    """Full NeoMem: NeoProf device + driver + Algorithm 1 + daemon loop."""
+
+    name = "neomem"
+
+    def __init__(
+        self,
+        config: NeoMemConfig | None = None,
+        device_config: NeoProfConfig | None = None,
+        fixed_threshold: float | None = None,
+    ) -> None:
+        self.config = config or NeoMemConfig()
+        self.device = NeoProfDevice(device_config)
+        self.driver = NeoProfDriver(self.device)
+        if fixed_threshold is None:
+            self.threshold_policy = DynamicThresholdPolicy(self.config.threshold_policy)
+            self.name = "neomem-thp" if self.config.thp else "neomem"
+        else:
+            self.threshold_policy = FixedThresholdPolicy(fixed_threshold)
+            self.name = f"neomem-fixed-{int(fixed_threshold)}"
+        self.current_threshold = float(self.device.detector.threshold)
+        self._next_migration_ns = 0.0
+        self._next_thr_update_ns = 0.0
+        self._next_clear_ns = 0.0
+        self._period = _PeriodCounters()
+        # telemetry for the Fig. 14 timelines
+        self.threshold_timeline: list[tuple[float, float]] = []
+        self.bandwidth_timeline: list[tuple[float, float, float]] = []
+        self.histogram_timeline: list[tuple[float, np.ndarray]] = []
+
+    # ------------------------------------------------------------------
+    def bind(self, engine) -> None:
+        self.engine = engine
+        if isinstance(self.threshold_policy, FixedThresholdPolicy):
+            self.current_threshold = self.threshold_policy.threshold
+            self.driver.set_threshold(int(self.current_threshold))
+
+    # ------------------------------------------------------------------
+    def on_epoch(self, view) -> float:
+        cfg = self.config
+        now_ns = view.sim_time_ns + view.duration_ns
+
+        # 1. the device snoops the CXL channel (hardware, no CPU cost)
+        slow_pages, slow_writes = view.slow_miss_stream()
+        self.device.snoop(slow_pages, slow_writes, view.duration_ns)
+
+        overhead_ns = 0.0
+
+        # 2. hot-page promotion at migration_interval
+        if now_ns >= self._next_migration_ns:
+            self._next_migration_ns = now_ns + cfg.migration_interval_s * 1e9
+            hot_pages = self.driver.read_hot_pages()
+            if hot_pages.size:
+                if cfg.thp:
+                    overhead_ns += self._promote_thp(view, hot_pages)
+                else:
+                    promoted = view.migration.promote(hot_pages, view.epoch)
+                    overhead_ns += promoted * cfg.syscall_ns_per_page
+
+        # 3. watermark demotion keeps promotion headroom available
+        fast = view.topology.fast_node.tier
+        if fast.free_pages < fast.capacity_pages * cfg.demotion_watermark:
+            want = int(fast.capacity_pages * cfg.demotion_target) - fast.free_pages
+            member_mask = view.page_table.node_of_page == 0
+            victims = view.lru.coldest(want, member_mask)
+            demoted = view.migration.demote(victims, charge_quota=False)
+            overhead_ns += demoted * cfg.syscall_ns_per_page
+
+        # period accounting (this epoch's migration activity)
+        self._period.promoted += view.migration.stats.promoted_pages
+        self._period.ping_pong += view.migration.stats.ping_pong_events
+
+        # 4. threshold update at thr_update_interval (Algorithm 1)
+        if now_ns >= self._next_thr_update_ns:
+            self._next_thr_update_ns = now_ns + cfg.thr_update_interval_s * 1e9
+            self._run_threshold_update(now_ns)
+
+        # 5. periodic NeoProf reset at clear_interval
+        if now_ns >= self._next_clear_ns:
+            self._next_clear_ns = now_ns + cfg.clear_interval_s * 1e9
+            self.driver.reset()
+
+        overhead_ns += self.driver.drain_cpu_overhead_ns()
+        return overhead_ns
+
+    # ------------------------------------------------------------------
+    def _promote_thp(self, view, hot_pages: np.ndarray) -> float:
+        """THP-mode promotion: migrate whole 2 MB pages (Sec. VII).
+
+        NeoProf still reports hot 4 KB pages; huge pages collecting at
+        least ``thp_hot_reports`` distinct hot reports migrate whole,
+        and leftover reports fall back to base-page migration.
+        """
+        from repro.memsim.address import PAGES_PER_HUGE_PAGE
+
+        huge_ids = np.asarray(hot_pages, dtype=np.int64) // PAGES_PER_HUGE_PAGE
+        unique, counts = np.unique(huge_ids, return_counts=True)
+        qualifying = unique[counts >= self.config.thp_hot_reports]
+        overhead_ns = 0.0
+        if qualifying.size:
+            moved = view.migration.promote_huge(qualifying, view.epoch)
+            overhead_ns += moved * self.config.syscall_ns_per_page * 4
+        stragglers = hot_pages[~np.isin(huge_ids, qualifying)]
+        if stragglers.size:
+            promoted = view.migration.promote(stragglers, view.epoch)
+            overhead_ns += promoted * self.config.syscall_ns_per_page
+        return overhead_ns
+
+    # ------------------------------------------------------------------
+    def _run_threshold_update(self, now_ns: float) -> None:
+        histogram = self.driver.read_histogram()
+        state = self.driver.read_state()
+        error = tight_error_bound(
+            histogram, depth=self.device.config.sketch_depth, delta=self.config.delta
+        )
+        promoted = max(self._period.promoted, 1)
+        ping_pong_ratio = self._period.ping_pong / promoted
+        decision = self.threshold_policy.update(
+            histogram=histogram,
+            bandwidth_util=state.bandwidth_utilization,
+            ping_pong_ratio=ping_pong_ratio,
+            error_bound=error,
+            migrated_pages=self._period.promoted,
+        )
+        self.current_threshold = max(decision.threshold, 1.0)
+        self.driver.set_threshold(int(self.current_threshold))
+        self._period.reset()
+
+        now_s = now_ns * 1e-9
+        self.threshold_timeline.append((now_s, self.current_threshold))
+        self.bandwidth_timeline.append(
+            (now_s, state.bandwidth_utilization, state.read_fraction)
+        )
+        self.histogram_timeline.append((now_s, histogram.counts.copy()))

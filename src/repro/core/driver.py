@@ -1,0 +1,67 @@
+"""NeoProf kernel driver: command sequences over the MMIO interface.
+
+The driver is the only component that talks to the device's control
+port.  It wraps multi-access command sequences (draining the hot-page
+FIFO, reading the histogram) and accounts the host CPU time those MMIO
+round trips cost — the entirety of NeoMem's profiling overhead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.neoprof.device import NeoProfDevice
+from repro.core.neoprof.histogram import HistogramSnapshot
+from repro.core.neoprof.mmio import NeoProfCommand
+from repro.core.neoprof.state_monitor import StateSample
+
+
+class NeoProfDriver:
+    """Host-side driver for one NeoProf device."""
+
+    def __init__(self, device: NeoProfDevice) -> None:
+        self.device = device
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Clear the sketch, hot buffer, state counters and histogram."""
+        self.device.mmio_write(NeoProfCommand.RESET, 1)
+
+    def set_threshold(self, threshold: int) -> None:
+        """Program the hot-page threshold theta."""
+        self.device.mmio_write(NeoProfCommand.SET_THRESHOLD, int(threshold))
+
+    # ------------------------------------------------------------------
+    def read_hot_pages(self, max_pages: int | None = None) -> np.ndarray:
+        """Drain the hot-page FIFO: GetNrHotPage then GetHotPage xN."""
+        pending = self.device.mmio_read(NeoProfCommand.GET_NR_HOT_PAGE)
+        if max_pages is not None:
+            pending = min(pending, max_pages)
+        pages = np.empty(pending, dtype=np.int64)
+        for i in range(pending):
+            pages[i] = self.device.mmio_read(NeoProfCommand.GET_HOT_PAGE)
+        return pages
+
+    def read_state(self) -> StateSample:
+        """Read the bandwidth counters (GetNrSample/GetRdCnt/GetWrCnt)."""
+        total = self.device.mmio_read(NeoProfCommand.GET_NR_SAMPLE)
+        reads = self.device.mmio_read(NeoProfCommand.GET_RD_CNT)
+        writes = self.device.mmio_read(NeoProfCommand.GET_WR_CNT)
+        return StateSample(total_cycles=total, read_cycles=reads, write_cycles=writes)
+
+    def read_histogram(self) -> HistogramSnapshot:
+        """Trigger and read the histogram (SetHistEn, GetNrHistBin, GetHist xN)."""
+        self.device.mmio_write(NeoProfCommand.SET_HIST_EN, 1)
+        num_bins = self.device.mmio_read(NeoProfCommand.GET_NR_HIST_BIN)
+        for _ in range(num_bins):
+            self.device.mmio_read(NeoProfCommand.GET_HIST)
+        # The driver reconstructs the snapshot; bin counts travelled over
+        # MMIO, edges are implied by the device's shift-based bin width.
+        snapshot = self.device.last_histogram
+        assert snapshot is not None  # SetHistEn above guarantees this
+        return snapshot
+
+    # ------------------------------------------------------------------
+    def drain_cpu_overhead_ns(self) -> float:
+        """Host CPU time consumed by MMIO traffic since the last drain."""
+        return self.device.drain_mmio_time()

@@ -1,0 +1,38 @@
+"""NeoProf: the device-side hardware profiler (Sections III-IV).
+
+The subpackage models the profiler the paper implements in the CXL
+memory controller's FPGA fabric: an H3-hashed Count-Min sketch with hot
+and valid bits, a bounded hot-page FIFO, a 64-bin histogram unit for
+tight error-bound estimation, a bandwidth/read-write state monitor, and
+the MMIO command interface of Table II.
+"""
+
+from repro.core.neoprof.h3 import H3HashFamily
+from repro.core.neoprof.sketch import CountMinSketch
+from repro.core.neoprof.detector import HotPageDetector
+from repro.core.neoprof.histogram import (
+    HistogramSnapshot,
+    HistogramUnit,
+    loose_error_bound,
+    tight_error_bound,
+)
+from repro.core.neoprof.state_monitor import StateMonitor, StateSample
+from repro.core.neoprof.mmio import MmioError, NeoProfCommand, WRITE_COMMANDS
+from repro.core.neoprof.device import NeoProfConfig, NeoProfDevice
+
+__all__ = [
+    "H3HashFamily",
+    "CountMinSketch",
+    "HotPageDetector",
+    "HistogramSnapshot",
+    "HistogramUnit",
+    "loose_error_bound",
+    "tight_error_bound",
+    "StateMonitor",
+    "StateSample",
+    "MmioError",
+    "NeoProfCommand",
+    "WRITE_COMMANDS",
+    "NeoProfConfig",
+    "NeoProfDevice",
+]

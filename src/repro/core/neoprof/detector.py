@@ -1,0 +1,111 @@
+"""Hot-page detector: sketch + hot-page filter + hot-page buffer (Fig. 7/8).
+
+The detector streams page addresses into the Count-Min sketch, flags
+pages whose estimated count exceeds the threshold ``theta`` (Eq. 4),
+suppresses duplicate reports through the hot bits, and queues new hot
+pages in a bounded FIFO the host drains with ``GetHotPage`` commands.
+A full buffer drops reports (and counts the drops), exactly like the
+16K-entry hardware FIFO.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.core.neoprof.sketch import CountMinSketch
+
+
+class HotPageDetector:
+    """Streaming hot-page detection with dedup filtering.
+
+    Args:
+        sketch: The backing Count-Min sketch.
+        threshold: Initial hotness threshold theta.
+        buffer_entries: Hot-page FIFO capacity (Table IV: 16K).
+    """
+
+    def __init__(
+        self,
+        sketch: CountMinSketch | None = None,
+        threshold: int = 64,
+        buffer_entries: int = 16 * 1024,
+        dedup_filter: bool = True,
+    ) -> None:
+        if threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        if buffer_entries <= 0:
+            raise ValueError("buffer must hold at least one entry")
+        self.sketch = sketch or CountMinSketch()
+        self.threshold = int(threshold)
+        self.buffer_entries = int(buffer_entries)
+        #: ablation switch for the Fig. 7 hot-bit filter
+        self.dedup_filter = bool(dedup_filter)
+        self._buffer: deque[int] = deque()
+        self.dropped_reports = 0
+        self.detected_total = 0
+
+    # ------------------------------------------------------------------
+    def set_threshold(self, threshold: int) -> None:
+        """Host command ``SetThreshold``."""
+        if threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        self.threshold = int(threshold)
+
+    # ------------------------------------------------------------------
+    def observe(self, pages: np.ndarray) -> int:
+        """Stream one batch of page addresses through the pipeline.
+
+        Returns the number of *new* hot pages queued this batch.  The
+        hardware evaluates Eq. 4 per request; at epoch granularity the
+        equivalent is: update the sketch with the whole batch, then test
+        each distinct page seen in the batch.
+        """
+        pages = np.asarray(pages, dtype=np.uint64)
+        if pages.size == 0:
+            return 0
+        self.sketch.update_batch(pages)
+        unique = np.unique(pages)
+        estimates = self.sketch.estimate_batch(unique)
+        hot = unique[estimates > self.threshold]
+        if hot.size == 0:
+            return 0
+        # Hot-page filter: drop pages whose hot bits are all already set.
+        if self.dedup_filter:
+            already_reported = self.sketch.hot_bits_all_set(hot)
+            fresh = hot[~already_reported]
+            if fresh.size == 0:
+                return 0
+            self.sketch.set_hot_bits(fresh)
+        else:
+            fresh = hot
+        queued = 0
+        for page in fresh:
+            if len(self._buffer) >= self.buffer_entries:
+                self.dropped_reports += int(fresh.size) - queued
+                break
+            self._buffer.append(int(page))
+            queued += 1
+        self.detected_total += queued
+        return queued
+
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Host command ``GetNrHotPage``."""
+        return len(self._buffer)
+
+    def drain(self, max_pages: int | None = None) -> np.ndarray:
+        """Pop up to ``max_pages`` queued hot pages (``GetHotPage`` loop)."""
+        count = len(self._buffer) if max_pages is None else min(max_pages, len(self._buffer))
+        out = np.empty(count, dtype=np.int64)
+        for i in range(count):
+            out[i] = self._buffer.popleft()
+        return out
+
+    def clear(self) -> None:
+        """Host command ``Reset``: counters, hot bits and buffer."""
+        self.sketch.clear()
+        self._buffer.clear()
+        self.dropped_reports = 0

@@ -1,0 +1,56 @@
+"""NeoProf MMIO command interface (Table II).
+
+The host controls NeoProf by reading and writing offsets inside the
+device's MMIO region.  This module defines the command encoding and a
+small decoder the device uses to dispatch accesses; the driver issues
+accesses through :class:`~repro.core.neoprof.device.NeoProfDevice`.
+
+Every MMIO access crosses the CXL link, so the device model charges a
+round-trip latency per access — this is the *entire* CPU-visible cost of
+NeoMem profiling, which is why the measured overhead is ~0.02 %.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class NeoProfCommand(IntEnum):
+    """Command offsets from Table II."""
+
+    RESET = 0x100
+    SET_THRESHOLD = 0x200
+    GET_NR_HOT_PAGE = 0x300
+    GET_HOT_PAGE = 0x400
+    GET_NR_SAMPLE = 0x500
+    GET_RD_CNT = 0x600
+    GET_WR_CNT = 0x700
+    SET_HIST_EN = 0x800
+    GET_NR_HIST_BIN = 0x900
+    GET_HIST = 0xA00
+
+
+#: Commands executed by a host *write*; the rest are reads.
+WRITE_COMMANDS = frozenset(
+    {NeoProfCommand.RESET, NeoProfCommand.SET_THRESHOLD, NeoProfCommand.SET_HIST_EN}
+)
+
+
+class MmioError(Exception):
+    """Raised for malformed MMIO traffic (bad offset or direction)."""
+
+
+def decode_offset(offset: int) -> NeoProfCommand:
+    """Map a raw MMIO offset to a command, validating it."""
+    try:
+        return NeoProfCommand(offset)
+    except ValueError as exc:
+        raise MmioError(f"unmapped NeoProf MMIO offset {offset:#x}") from exc
+
+
+def require_direction(command: NeoProfCommand, is_write: bool) -> None:
+    """Reject reads of write-only registers and vice versa."""
+    if is_write and command not in WRITE_COMMANDS:
+        raise MmioError(f"{command.name} is read-only")
+    if not is_write and command in WRITE_COMMANDS:
+        raise MmioError(f"{command.name} is write-only")

@@ -1,0 +1,152 @@
+"""Count-Min Sketch with hot and valid bits (Fig. 7 of the paper).
+
+Each of the ``D x W`` entries holds a saturating counter, a *hot bit*
+(the in-sketch bloom filter that deduplicates hot-page reports) and a
+*valid bit* (cleared in bulk to reset the sketch without touching the
+counter SRAM).  The valid bits are modelled with a generation number so
+the O(1) hardware reset is O(1) here too.
+
+Guarantees (Cormode & Muthukrishnan):  with ``W = ceil(2/eps)`` and
+``D = ceil(log2(1/delta))``, the estimate ``a_hat`` satisfies
+``a <= a_hat <= a + eps*N`` with probability ``1 - delta``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.neoprof.h3 import H3HashFamily
+
+
+class CountMinSketch:
+    """Hardware-faithful CM sketch over page addresses.
+
+    Args:
+        width: Columns per lane (W; Table IV default 512K).
+        depth: Lanes (D; Table IV default 2).
+        counter_bits: Saturating counter width (Table IV: 16).
+        addr_bits: Input page-address bits (Table IV: 32).
+        seed: Hash-seed RNG seed.
+    """
+
+    def __init__(
+        self,
+        width: int = 512 * 1024,
+        depth: int = 2,
+        counter_bits: int = 16,
+        addr_bits: int = 32,
+        seed: int = 0xC0FFEE,
+    ) -> None:
+        if width <= 0 or width & (width - 1):
+            raise ValueError("sketch width must be a power of two")
+        if depth <= 0:
+            raise ValueError("sketch depth must be positive")
+        if not 1 <= counter_bits <= 32:
+            raise ValueError("counter_bits must be in 1..32")
+        self.width = int(width)
+        self.depth = int(depth)
+        self.counter_bits = int(counter_bits)
+        self.counter_max = (1 << counter_bits) - 1
+        self.hashes = H3HashFamily(addr_bits, width, depth, seed)
+        self._counters = np.zeros((depth, width), dtype=np.uint32)
+        self._hot = np.zeros((depth, width), dtype=bool)
+        # Generation-based valid bits: an entry is valid iff its
+        # generation matches the current one.  clear() bumps the
+        # generation, invalidating every entry at once.
+        self._gen = np.zeros((depth, width), dtype=np.uint32)
+        self._current_gen = np.uint32(1)
+        self.total_updates = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_error_bounds(cls, epsilon: float, delta: float, **kwargs) -> "CountMinSketch":
+        """Size the sketch from the (eps, delta) guarantee of Sec. IV-B."""
+        if not 0 < epsilon < 1 or not 0 < delta < 1:
+            raise ValueError("epsilon and delta must be in (0, 1)")
+        width = int(np.ceil(2.0 / epsilon))
+        width = 1 << (width - 1).bit_length()  # round up to power of two
+        depth = max(1, int(np.ceil(np.log2(1.0 / delta))))
+        return cls(width=width, depth=depth, **kwargs)
+
+    # ------------------------------------------------------------------
+    def _validate(self, lanes: np.ndarray, cols: np.ndarray) -> None:
+        """Zero-fill entries whose generation is stale, then mark valid."""
+        stale = self._gen[lanes, cols] != self._current_gen
+        if stale.any():
+            self._counters[lanes[stale], cols[stale]] = 0
+            self._hot[lanes[stale], cols[stale]] = False
+            self._gen[lanes[stale], cols[stale]] = self._current_gen
+
+    def update_batch(self, pages: np.ndarray) -> None:
+        """Stream a batch of page addresses into the sketch (Eq. 1)."""
+        pages = np.asarray(pages, dtype=np.uint64)
+        if pages.size == 0:
+            return
+        cols = self.hashes.hash_batch(pages)  # (D, n)
+        lane_idx = np.repeat(np.arange(self.depth), pages.size)
+        col_idx = cols.reshape(-1)
+        self._validate(lane_idx, col_idx)
+        np.add.at(self._counters, (lane_idx, col_idx), 1)
+        np.minimum(self._counters, self.counter_max, out=self._counters)
+        self.total_updates += int(pages.size)
+
+    def estimate_batch(self, pages: np.ndarray) -> np.ndarray:
+        """Estimated access count per page (Eq. 2: min across lanes)."""
+        pages = np.asarray(pages, dtype=np.uint64)
+        if pages.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        cols = self.hashes.hash_batch(pages)
+        lanes = np.arange(self.depth)[:, None]
+        valid = self._gen[lanes, cols] == self._current_gen
+        values = np.where(valid, self._counters[lanes, cols], 0)
+        return values.min(axis=0).astype(np.int64)
+
+    def estimate(self, page: int) -> int:
+        """Estimated access count of a single page."""
+        return int(self.estimate_batch(np.array([page], dtype=np.uint64))[0])
+
+    # ------------------------------------------------------------------
+    # hot bits (the dedup bloom filter of Fig. 7)
+    # ------------------------------------------------------------------
+    def hot_bits_all_set(self, pages: np.ndarray) -> np.ndarray:
+        """True per page if every hashed entry's hot bit is already set."""
+        pages = np.asarray(pages, dtype=np.uint64)
+        if pages.size == 0:
+            return np.zeros(0, dtype=bool)
+        cols = self.hashes.hash_batch(pages)
+        lanes = np.arange(self.depth)[:, None]
+        valid = self._gen[lanes, cols] == self._current_gen
+        hot = self._hot[lanes, cols] & valid
+        return hot.all(axis=0)
+
+    def set_hot_bits(self, pages: np.ndarray) -> None:
+        """Set the hot bit in every entry hashed by ``pages``."""
+        pages = np.asarray(pages, dtype=np.uint64)
+        if pages.size == 0:
+            return
+        cols = self.hashes.hash_batch(pages)
+        lane_idx = np.repeat(np.arange(self.depth), pages.size)
+        col_idx = cols.reshape(-1)
+        self._validate(lane_idx, col_idx)
+        self._hot[lane_idx, col_idx] = True
+
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        """Reset every counter and hot bit via the valid-bit mechanism."""
+        self._current_gen += np.uint32(1)
+        self.total_updates = 0
+        if self._current_gen == 0:  # generation wrap: hard reset
+            self._counters.fill(0)
+            self._hot.fill(False)
+            self._gen.fill(0)
+            self._current_gen = np.uint32(1)
+
+    def lane_counters(self, lane: int = 0) -> np.ndarray:
+        """Valid-aware snapshot of one lane's counters (histogram input)."""
+        valid = self._gen[lane] == self._current_gen
+        return np.where(valid, self._counters[lane], 0).astype(np.int64)
+
+    @property
+    def sram_bits(self) -> int:
+        """Storage cost in bits (counter + hot + valid per entry)."""
+        return self.depth * self.width * (self.counter_bits + 2)

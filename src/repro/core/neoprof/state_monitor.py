@@ -1,0 +1,77 @@
+"""State monitor: bandwidth utilization and read/write split (Sec. IV-A).
+
+The State Monitor sits in the high-frequency clock domain next to the
+memory controller and counts, over a sampling window, the cycles spent
+transferring read data, the cycles spent transferring write data, and
+the total elapsed cycles.  The host reads the three counters with
+``GetNrSample`` / ``GetRdCnt`` / ``GetWrCnt`` and derives
+
+    B = (read + write) / total_cycles        (bandwidth utilization)
+    read fraction = read / (read + write)
+
+The simulator feeds it per-epoch byte counts; cycles are derived from
+the device's data-path width and clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class StateSample:
+    """One readout of the monitor's counters."""
+
+    total_cycles: int
+    read_cycles: int
+    write_cycles: int
+
+    @property
+    def bandwidth_utilization(self) -> float:
+        if self.total_cycles <= 0:
+            return 0.0
+        return min((self.read_cycles + self.write_cycles) / self.total_cycles, 1.0)
+
+    @property
+    def read_fraction(self) -> float:
+        busy = self.read_cycles + self.write_cycles
+        if busy == 0:
+            return 0.5
+        return self.read_cycles / busy
+
+
+class StateMonitor:
+    """Cycle counters for the device's data path.
+
+    Args:
+        clock_hz: Device clock (the FPGA prototype runs at 400 MHz).
+        bytes_per_cycle: Data-path width; 64 B/cycle matches a 512-bit
+            internal bus.
+    """
+
+    def __init__(self, clock_hz: float = 400e6, bytes_per_cycle: int = 64) -> None:
+        if clock_hz <= 0 or bytes_per_cycle <= 0:
+            raise ValueError("clock and data-path width must be positive")
+        self.clock_hz = float(clock_hz)
+        self.bytes_per_cycle = int(bytes_per_cycle)
+        self._total_cycles = 0
+        self._read_cycles = 0
+        self._write_cycles = 0
+
+    def record(self, read_bytes: int, write_bytes: int, elapsed_ns: float) -> None:
+        """Accumulate one epoch of traffic against the sampling window."""
+        if elapsed_ns < 0 or read_bytes < 0 or write_bytes < 0:
+            raise ValueError("traffic quantities must be non-negative")
+        self._total_cycles += int(elapsed_ns * 1e-9 * self.clock_hz)
+        self._read_cycles += int(read_bytes) // self.bytes_per_cycle
+        self._write_cycles += int(write_bytes) // self.bytes_per_cycle
+
+    def sample(self) -> StateSample:
+        """Read the counters without clearing them."""
+        return StateSample(self._total_cycles, self._read_cycles, self._write_cycles)
+
+    def reset(self) -> None:
+        """Clear the sampling window (part of the ``Reset`` command)."""
+        self._total_cycles = 0
+        self._read_cycles = 0
+        self._write_cycles = 0

@@ -1,0 +1,129 @@
+"""Dynamic hotness-threshold adjustment — Algorithm 1 of the paper.
+
+Every threshold-update period the policy recomputes the percentile ``p``
+of pages treated as hot, from four signals NeoProf exposes:
+
+* **bandwidth utilization** ``B``: heavy slow-tier traffic lowers the
+  threshold (``p`` grows by ``(1+B)^alpha``) so more pages move up;
+* **ping-pong severity** ``P``: promotion churn raises the threshold
+  (``p`` shrinks by ``(1+P)^beta``);
+* **migration quota**: exceeding ``m_quota`` halves ``p``;
+* **sketch error bound** ``E``: when the candidate threshold falls below
+  the estimated approximation error, ``p`` is halved until hot-page
+  classification is trustworthy again.
+
+The threshold itself is the ``(1-p)``-quantile of the access-frequency
+histogram: ``theta = QF(1 - p)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.neoprof.histogram import HistogramSnapshot
+
+
+@dataclass
+class ThresholdPolicyConfig:
+    """Algorithm 1 inputs (defaults from Table V)."""
+
+    p_min: float = 0.0001  # 0.01 %
+    p_max: float = 0.0156  # 1.56 %
+    p_init: float = 0.001  # 0.1 %
+    alpha: float = 1.0
+    beta: float = 2.0
+    migration_quota_pages: int = 65536  # 256 MB/s at 1 s periods, in pages
+    #: ablation switch: disable lines 14-15 (error-bound checking)
+    error_bound_check: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0 < self.p_min <= self.p_init <= self.p_max < 1:
+            raise ValueError("need 0 < p_min <= p_init <= p_max < 1")
+        if self.migration_quota_pages <= 0:
+            raise ValueError("migration quota must be positive")
+
+
+@dataclass(frozen=True)
+class ThresholdDecision:
+    """One Algorithm 1 iteration's outputs (for telemetry/figures)."""
+
+    percentile: float
+    threshold: float
+    error_bound: float
+    quota_exceeded: bool
+    error_clamped: bool
+
+
+class DynamicThresholdPolicy:
+    """Stateful Algorithm 1 implementation."""
+
+    def __init__(self, config: ThresholdPolicyConfig | None = None) -> None:
+        self.config = config or ThresholdPolicyConfig()
+        self.p = self.config.p_init
+        self.threshold = 0.0
+        self.history: list[ThresholdDecision] = []
+
+    def update(
+        self,
+        histogram: HistogramSnapshot,
+        bandwidth_util: float,
+        ping_pong_ratio: float,
+        error_bound: float,
+        migrated_pages: int,
+    ) -> ThresholdDecision:
+        """Run one threshold-update period (lines 3-16 of Algorithm 1)."""
+        if not 0.0 <= bandwidth_util <= 1.0:
+            raise ValueError("bandwidth utilization must be in [0, 1]")
+        if ping_pong_ratio < 0.0:
+            raise ValueError("ping-pong ratio must be non-negative")
+        cfg = self.config
+
+        quota_exceeded = migrated_pages >= cfg.migration_quota_pages
+        if not quota_exceeded:
+            # line 10: p <- p * (1+B)^alpha / (1+P)^beta
+            self.p *= (1.0 + bandwidth_util) ** cfg.alpha
+            self.p /= (1.0 + ping_pong_ratio) ** cfg.beta
+            self.p = min(max(self.p, cfg.p_min), cfg.p_max)  # line 11
+        else:
+            self.p = max(cfg.p_min, self.p / 2.0)  # line 13
+
+        # lines 14-15: error-bound checking
+        error_clamped = False
+        if cfg.error_bound_check and histogram.quantile(1.0 - self.p) < error_bound:
+            self.p = max(cfg.p_min, self.p / 2.0)
+            error_clamped = True
+
+        self.threshold = histogram.quantile(1.0 - self.p)  # line 16
+        decision = ThresholdDecision(
+            percentile=self.p,
+            threshold=self.threshold,
+            error_bound=error_bound,
+            quota_exceeded=quota_exceeded,
+            error_clamped=error_clamped,
+        )
+        self.history.append(decision)
+        return decision
+
+
+class FixedThresholdPolicy:
+    """The naive fixed-theta baseline of Fig. 14-(a)."""
+
+    def __init__(self, threshold: float) -> None:
+        if threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        self.threshold = float(threshold)
+        self.p = float("nan")
+        self.history: list[ThresholdDecision] = []
+
+    def update(self, histogram, bandwidth_util, ping_pong_ratio, error_bound, migrated_pages):
+        """Ignore all runtime signals; theta never moves."""
+        del histogram, bandwidth_util, ping_pong_ratio, migrated_pages
+        decision = ThresholdDecision(
+            percentile=float("nan"),
+            threshold=self.threshold,
+            error_bound=error_bound,
+            quota_exceeded=False,
+            error_clamped=False,
+        )
+        self.history.append(decision)
+        return decision

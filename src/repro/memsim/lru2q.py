@@ -1,0 +1,141 @@
+"""LRU 2Q active/inactive lists for cold-page detection.
+
+NeoMem deliberately keeps cold-page detection in software: "Since the
+detection of cold pages does not need a high resolution, NeoMem employs
+the well-established LRU 2Q mechanism in the Linux kernel" (Section III).
+This module models those kernel lists at page granularity:
+
+* a page's first touch puts it on the *inactive* list;
+* a touch in a later epoch while inactive promotes it to *active*;
+* aging rebalances by moving the least-recently-touched active pages
+  back to inactive;
+* demotion candidates are taken from the inactive tail (oldest stamp).
+
+Everything is stored in flat numpy arrays indexed by page number so the
+epoch engine can update whole batches at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: list states
+_NONE = np.int8(0)
+_INACTIVE = np.int8(1)
+_ACTIVE = np.int8(2)
+
+
+class Lru2Q:
+    """Kernel-style 2Q lists over a flat page-number space."""
+
+    def __init__(self, num_pages: int, active_ratio: float = 0.6) -> None:
+        if num_pages <= 0:
+            raise ValueError("need at least one page")
+        if not 0.0 < active_ratio < 1.0:
+            raise ValueError("active_ratio must be in (0, 1)")
+        self.num_pages = int(num_pages)
+        self.active_ratio = float(active_ratio)
+        self._state = np.full(self.num_pages, _NONE, dtype=np.int8)
+        self._stamp = np.full(self.num_pages, -1, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def touch(self, pages: np.ndarray, epoch: int) -> None:
+        """Record that ``pages`` were accessed during ``epoch``.
+
+        Pages seen for the first time enter the inactive list; pages
+        already inactive and re-touched in a *later* epoch are promoted
+        to active (the 2Q second-chance rule).
+        """
+        idx = np.unique(np.asarray(pages, dtype=np.int64))
+        state = self._state[idx]
+        prior_stamp = self._stamp[idx]
+        promote = (state == _INACTIVE) & (prior_stamp < epoch) & (prior_stamp >= 0)
+        fresh = state == _NONE
+        new_state = state.copy()
+        new_state[fresh] = _INACTIVE
+        new_state[promote] = _ACTIVE
+        self._state[idx] = new_state
+        self._stamp[idx] = epoch
+
+    def forget(self, pages: np.ndarray) -> None:
+        """Drop pages from the lists (e.g. after demotion off-node)."""
+        idx = np.asarray(pages, dtype=np.int64)
+        self._state[idx] = _NONE
+        self._stamp[idx] = -1
+
+    def deactivate(self, pages: np.ndarray) -> None:
+        """Move pages to the inactive list head (kernel ``deactivate_page``)."""
+        idx = np.asarray(pages, dtype=np.int64)
+        on_list = self._state[idx] != _NONE
+        self._state[idx[on_list]] = _INACTIVE
+
+    # ------------------------------------------------------------------
+    def age(self, epoch: int, member_mask: np.ndarray | None = None) -> int:
+        """Rebalance: demote old active pages until the active share fits.
+
+        Args:
+            epoch: Current epoch (for relative staleness).
+            member_mask: Optional boolean mask restricting which pages
+                belong to the managed node (fast tier).
+
+        Returns:
+            Number of pages moved from active to inactive.
+        """
+        del epoch  # staleness is relative; stamps carry the ordering
+        active_mask = self._state == _ACTIVE
+        inactive_mask = self._state == _INACTIVE
+        if member_mask is not None:
+            active_mask &= member_mask
+            inactive_mask &= member_mask
+        total = int(active_mask.sum() + inactive_mask.sum())
+        if total == 0:
+            return 0
+        max_active = int(total * self.active_ratio)
+        excess = int(active_mask.sum()) - max_active
+        if excess <= 0:
+            return 0
+        active_pages = np.nonzero(active_mask)[0]
+        oldest = active_pages[np.argsort(self._stamp[active_pages], kind="stable")[:excess]]
+        self._state[oldest] = _INACTIVE
+        return int(oldest.size)
+
+    def coldest(self, count: int, member_mask: np.ndarray | None = None) -> np.ndarray:
+        """Return up to ``count`` demotion candidates, coldest first.
+
+        Candidates come from the inactive list ordered by stamp; if the
+        inactive list runs dry the oldest active pages follow, mirroring
+        kernel reclaim under pressure.
+        """
+        if count <= 0:
+            return np.zeros(0, dtype=np.int64)
+        inactive_mask = self._state == _INACTIVE
+        active_mask = self._state == _ACTIVE
+        if member_mask is not None:
+            inactive_mask &= member_mask
+            active_mask &= member_mask
+        inactive_pages = np.nonzero(inactive_mask)[0]
+        order = np.argsort(self._stamp[inactive_pages], kind="stable")
+        picks = inactive_pages[order[:count]]
+        if picks.size < count:
+            active_pages = np.nonzero(active_mask)[0]
+            order = np.argsort(self._stamp[active_pages], kind="stable")
+            extra = active_pages[order[: count - picks.size]]
+            picks = np.concatenate([picks, extra])
+        return picks.astype(np.int64)
+
+    # ------------------------------------------------------------------
+    def active_count(self, member_mask: np.ndarray | None = None) -> int:
+        mask = self._state == _ACTIVE
+        if member_mask is not None:
+            mask &= member_mask
+        return int(mask.sum())
+
+    def inactive_count(self, member_mask: np.ndarray | None = None) -> int:
+        mask = self._state == _INACTIVE
+        if member_mask is not None:
+            mask &= member_mask
+        return int(mask.sum())
+
+    def state_of(self, page: int) -> str:
+        """Human-readable list membership of one page."""
+        return {0: "none", 1: "inactive", 2: "active"}[int(self._state[page])]

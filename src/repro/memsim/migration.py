@@ -1,0 +1,301 @@
+"""Page promotion / demotion engine with quota and ping-pong accounting.
+
+Models the kernel migration path NeoMem invokes (Section III ``7``):
+
+* **promotion** moves pages from a slow node to the fast node, first
+  demoting cold pages (chosen by the LRU-2Q lists) if the fast node lacks
+  headroom;
+* **demotion** moves cold pages the other way;
+* a **migration quota** (``m_quota``, Table V: 256 MB/s default) caps the
+  bytes moved per second — requests beyond the quota are dropped, exactly
+  like the kernel rate limiter;
+* the **PG_demoted** flag implements the paper's ping-pong detection: a
+  promotion of a page that was previously demoted counts as one
+  ping-pong event;
+* each migrated page costs copy time charged to the epoch as a stall
+  (page copy + PTE fixup + TLB shootdown).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.memsim.address import PAGE_SIZE, PAGES_PER_HUGE_PAGE
+from repro.memsim.lru2q import Lru2Q
+from repro.memsim.numa import NumaTopology
+from repro.memsim.page_table import PageTable
+
+
+@dataclass
+class MigrationStats:
+    """Counters for one accounting window (an epoch)."""
+
+    promoted_pages: int = 0
+    demoted_pages: int = 0
+    promoted_huge_pages: int = 0
+    ping_pong_events: int = 0
+    quota_dropped_pages: int = 0
+    stall_ns: float = 0.0
+
+    def reset(self) -> "MigrationStats":
+        """Return a copy and zero the live counters."""
+        snapshot = MigrationStats(
+            self.promoted_pages,
+            self.demoted_pages,
+            self.promoted_huge_pages,
+            self.ping_pong_events,
+            self.quota_dropped_pages,
+            self.stall_ns,
+        )
+        self.promoted_pages = 0
+        self.demoted_pages = 0
+        self.promoted_huge_pages = 0
+        self.ping_pong_events = 0
+        self.quota_dropped_pages = 0
+        self.stall_ns = 0.0
+        return snapshot
+
+
+@dataclass
+class MigrationConfig:
+    """Migration-path knobs (defaults from Table V)."""
+
+    quota_bytes_per_s: float = 256 * 1024 * 1024
+    #: per-page migration cost: 4 KB copy at ~10 GB/s plus PTE fixup and
+    #: TLB shootdown, amortized; ~2 us/page matches kernel measurements.
+    page_copy_ns: float = 2_000.0
+    #: huge pages copy 512x the data but amortize the fixed costs.
+    huge_page_copy_ns: float = 160_000.0
+    #: demotion headroom: promotions keep this fraction of the fast node free.
+    fast_free_target: float = 0.02
+
+
+def _dedup_keep_order(pages: np.ndarray) -> np.ndarray:
+    """Drop duplicate page numbers, keeping first-occurrence order.
+
+    Duplicate requests would otherwise double-book tier capacity (one
+    physical move, two reservations).
+    """
+    if pages.size <= 1:
+        return pages
+    _, first_idx = np.unique(pages, return_index=True)
+    if first_idx.size == pages.size:
+        return pages
+    return pages[np.sort(first_idx)]
+
+
+class MigrationEngine:
+    """Executes promotions/demotions against the topology and page table."""
+
+    def __init__(
+        self,
+        topology: NumaTopology,
+        page_table: PageTable,
+        lru: Lru2Q,
+        config: MigrationConfig | None = None,
+    ) -> None:
+        self.topology = topology
+        self.page_table = page_table
+        self.lru = lru
+        self.config = config or MigrationConfig()
+        self.stats = MigrationStats()
+        self._window_budget_bytes = 0.0
+
+    # ------------------------------------------------------------------
+    # quota
+    # ------------------------------------------------------------------
+    #: budget accrual cap, in seconds of quota (token-bucket burst size).
+    QUOTA_BURST_S = 0.25
+
+    def grant_quota(self, window_s: float) -> None:
+        """Accrue rate-limit budget for ``window_s`` seconds (token bucket).
+
+        Policies act in bursts (e.g. every ``migration_interval``) while
+        the engine grants budget every epoch, so unused budget carries
+        over, capped at :attr:`QUOTA_BURST_S` seconds' worth.
+        """
+        self._window_budget_bytes = min(
+            self._window_budget_bytes + self.config.quota_bytes_per_s * window_s,
+            self.config.quota_bytes_per_s * self.QUOTA_BURST_S,
+        )
+
+    def _charge_quota(self, pages_wanted: int, bytes_per_page: int) -> int:
+        """Clamp a request to the remaining window budget (in pages)."""
+        affordable = int(self._window_budget_bytes // bytes_per_page)
+        granted = min(pages_wanted, affordable)
+        self._window_budget_bytes -= granted * bytes_per_page
+        if granted < pages_wanted:
+            self.stats.quota_dropped_pages += pages_wanted - granted
+        return granted
+
+    # ------------------------------------------------------------------
+    # promotion
+    # ------------------------------------------------------------------
+    def promote(self, pages: np.ndarray, epoch: int) -> int:
+        """Promote ``pages`` (currently on slow nodes) to the fast node.
+
+        Demotes cold pages first if the fast node is full.  Returns the
+        number of pages actually promoted after quota and capacity.
+        """
+        pages = _dedup_keep_order(np.asarray(pages, dtype=np.int64))
+        if pages.size == 0:
+            return 0
+        nodes = self.page_table.nodes_of(pages)
+        movable = pages[nodes > 0]  # only pages on slow nodes move up
+        if movable.size == 0:
+            return 0
+        granted = self._charge_quota(movable.size, PAGE_SIZE)
+        if granted == 0:
+            return 0
+        movable = movable[:granted]
+
+        fast = self.topology.fast_node.tier
+        headroom_target = int(fast.capacity_pages * self.config.fast_free_target)
+        deficit = movable.size - (fast.free_pages - headroom_target)
+        if deficit > 0:
+            self._make_room(deficit, epoch)
+            budget = max(fast.free_pages - headroom_target, 0)
+            if movable.size > budget:
+                movable = movable[:budget]
+        if movable.size == 0:
+            return 0
+
+        src_nodes = self.page_table.nodes_of(movable)
+        for node_id in np.unique(src_nodes):
+            count = int((src_nodes == node_id).sum())
+            self.topology[int(node_id)].tier.release(count)
+        fast.reserve(movable.size)
+        self.page_table.map_pages(movable, self.topology.fast_node.node_id)
+
+        # ping-pong accounting: promoted pages that carry PG_demoted
+        demoted_before = self.page_table.demoted_mask(movable)
+        self.stats.ping_pong_events += int(demoted_before.sum())
+        self.page_table.clear_demoted(movable)
+
+        # promoted pages enter the fast node's lists as recently used
+        self.lru.touch(movable, epoch)
+        self.stats.promoted_pages += int(movable.size)
+        self.stats.stall_ns += movable.size * self.config.page_copy_ns
+        return int(movable.size)
+
+    def promote_huge(self, huge_pages: np.ndarray, epoch: int) -> int:
+        """Promote whole 2 MB huge pages (Table VI / THP mode).
+
+        ``huge_pages`` are huge-page numbers; every base page inside each
+        huge page moves together, as Linux's huge-page-compatible
+        migration functions do.
+        """
+        huge_pages = np.unique(np.asarray(huge_pages, dtype=np.int64))
+        if huge_pages.size == 0:
+            return 0
+        granted = self._charge_quota(huge_pages.size, PAGE_SIZE * PAGES_PER_HUGE_PAGE)
+        if granted == 0:
+            return 0
+        moved = 0
+        for huge_page in huge_pages[:granted]:
+            base = int(huge_page) * PAGES_PER_HUGE_PAGE
+            span = np.arange(base, min(base + PAGES_PER_HUGE_PAGE, self.page_table.num_pages))
+            nodes = self.page_table.nodes_of(span)
+            slow_members = span[nodes > 0]
+            if slow_members.size == 0:
+                continue
+            fast = self.topology.fast_node.tier
+            headroom = int(fast.capacity_pages * self.config.fast_free_target)
+            deficit = slow_members.size - (fast.free_pages - headroom)
+            if deficit > 0:
+                self._make_room(deficit, epoch)
+            if fast.free_pages - headroom < slow_members.size:
+                break
+            src_nodes = self.page_table.nodes_of(slow_members)
+            for node_id in np.unique(src_nodes):
+                count = int((src_nodes == node_id).sum())
+                self.topology[int(node_id)].tier.release(count)
+            fast.reserve(slow_members.size)
+            self.page_table.map_pages(slow_members, self.topology.fast_node.node_id)
+            demoted_before = self.page_table.demoted_mask(slow_members)
+            self.stats.ping_pong_events += int(demoted_before.sum())
+            self.page_table.clear_demoted(slow_members)
+            self.lru.touch(slow_members, epoch)
+            moved += 1
+            self.stats.promoted_pages += int(slow_members.size)
+            self.stats.stall_ns += self.config.huge_page_copy_ns
+        self.stats.promoted_huge_pages += moved
+        return moved
+
+    # ------------------------------------------------------------------
+    # demotion
+    # ------------------------------------------------------------------
+    def demote(
+        self,
+        pages: np.ndarray,
+        target_node: int | None = None,
+        charge_quota: bool = True,
+    ) -> int:
+        """Demote fast-node ``pages`` to a slow node.
+
+        Returns the number of pages moved.  Policy-driven demotions share
+        the quota with promotions; reclaim-driven demotions (making room
+        for a promotion, the kernel's kswapd path) bypass it by passing
+        ``charge_quota=False``.
+        """
+        pages = _dedup_keep_order(np.asarray(pages, dtype=np.int64))
+        if pages.size == 0:
+            return 0
+        nodes = self.page_table.nodes_of(pages)
+        movable = pages[nodes == 0]
+        if movable.size == 0:
+            return 0
+        if charge_quota:
+            granted = self._charge_quota(movable.size, PAGE_SIZE)
+            if granted == 0:
+                return 0
+            movable = movable[:granted]
+
+        if target_node is None:
+            targets = [n for n in self.topology.slow_nodes if n.tier.free_pages > 0]
+        else:
+            targets = [self.topology[target_node]]
+        moved = 0
+        cursor = 0
+        for node in targets:
+            take = min(node.tier.free_pages, movable.size - cursor)
+            if take <= 0:
+                continue
+            chunk = movable[cursor : cursor + take]
+            self.topology.fast_node.tier.release(take)
+            node.tier.reserve(take)
+            self.page_table.map_pages(chunk, node.node_id)
+            self.page_table.mark_demoted(chunk)
+            self.lru.forget(chunk)
+            cursor += take
+            moved += take
+            if cursor >= movable.size:
+                break
+        self.stats.demoted_pages += moved
+        self.stats.stall_ns += moved * self.config.page_copy_ns
+        return moved
+
+    def _make_room(self, num_pages: int, epoch: int) -> int:
+        """Demote the coldest fast-node pages to free ``num_pages``."""
+        del epoch  # list stamps order candidates; epoch kept for symmetry
+        member_mask = self.page_table.node_of_page == 0
+        candidates = self.lru.coldest(num_pages, member_mask)
+        if candidates.size < num_pages:
+            # Pages never touched since placement are not on the 2Q lists
+            # yet; in the kernel they sit on the inactive list from
+            # allocation, so they are legitimate (indeed prime) victims.
+            untracked = np.nonzero(member_mask)[0]
+            if candidates.size:
+                untracked = np.setdiff1d(untracked, candidates, assume_unique=False)
+            extra = untracked[: num_pages - candidates.size]
+            candidates = np.concatenate([candidates, extra])
+        if candidates.size == 0:
+            return 0
+        return self.demote(candidates, charge_quota=False)
+
+    # ------------------------------------------------------------------
+    def drain_stats(self) -> MigrationStats:
+        """Snapshot and reset the per-window counters."""
+        return self.stats.reset()

@@ -1,0 +1,83 @@
+"""TLB model.
+
+PTE-scan and hint-fault profiling observe memory at the *TLB* level: a
+page's Accessed bit is set on the page walk that follows a TLB miss, and
+a poisoned PTE faults only when the stale translation is not cached.  The
+paper's Fig. 4-(b) shows that TLB-level visibility correlates poorly with
+true LLC misses.  This model supplies that behaviour: it is a
+fully-associative LRU TLB over page numbers, with batch helpers for the
+epoch engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class TLB:
+    """Fully-associative LRU TLB over page numbers."""
+
+    def __init__(self, entries: int = 1536) -> None:
+        if entries <= 0:
+            raise ValueError("TLB needs at least one entry")
+        self.entries = int(entries)
+        self._slot_of_page: dict[int, int] = {}
+        self._lru = np.zeros(self.entries, dtype=np.int64)
+        self._page_of_slot = np.full(self.entries, -1, dtype=np.int64)
+        self._clock = 0
+        self.accesses = 0
+        self.misses = 0
+
+    def access(self, page: int) -> bool:
+        """Translate ``page``; return True on TLB hit."""
+        page = int(page)
+        self._clock += 1
+        self.accesses += 1
+        slot = self._slot_of_page.get(page)
+        if slot is not None:
+            self._lru[slot] = self._clock
+            return True
+        self.misses += 1
+        if len(self._slot_of_page) < self.entries:
+            slot = len(self._slot_of_page)
+        else:
+            slot = int(np.argmin(self._lru))
+            del self._slot_of_page[int(self._page_of_slot[slot])]
+        self._slot_of_page[page] = slot
+        self._page_of_slot[slot] = page
+        self._lru[slot] = self._clock
+        return False
+
+    def access_batch(self, pages: np.ndarray) -> np.ndarray:
+        """Translate a batch; return a boolean TLB-miss mask."""
+        pages = np.asarray(pages, dtype=np.int64)
+        out = np.zeros(pages.size, dtype=bool)
+        for idx, page in enumerate(pages):
+            out[idx] = not self.access(int(page))
+        return out
+
+    def shootdown(self, page: int) -> bool:
+        """Invalidate one translation (models a TLB shootdown).
+
+        Returns True if the page was resident.
+        """
+        slot = self._slot_of_page.pop(int(page), None)
+        if slot is None:
+            return False
+        self._page_of_slot[slot] = -1
+        self._lru[slot] = 0
+        return True
+
+    def flush(self) -> None:
+        """Full TLB flush."""
+        self._slot_of_page.clear()
+        self._page_of_slot.fill(-1)
+        self._lru.fill(0)
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def resident_pages(self) -> set[int]:
+        """The set of currently cached translations."""
+        return set(self._slot_of_page)

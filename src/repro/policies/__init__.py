@@ -1,0 +1,78 @@
+"""Tiering policies: NeoMem plus every baseline the paper compares.
+
+``make_policy`` is the registry used by the experiment harness; names
+match the labels in Figs. 11-13 and 17.
+"""
+
+from __future__ import annotations
+
+from repro.core.daemon import NeoMemConfig, NeoMemDaemon
+from repro.core.neoprof.device import NeoProfConfig
+from repro.policies.autonuma import AutoNumaPolicy
+from repro.policies.base import BaseTieringPolicy
+from repro.policies.first_touch import FirstTouchPolicy
+from repro.policies.memtis import MemtisPolicy
+from repro.policies.pebs_policy import PebsPolicy
+from repro.policies.pte_scan_policy import PteScanPolicy
+from repro.policies.tpp import TppPolicy
+
+__all__ = [
+    "BaseTieringPolicy",
+    "FirstTouchPolicy",
+    "PteScanPolicy",
+    "AutoNumaPolicy",
+    "TppPolicy",
+    "PebsPolicy",
+    "MemtisPolicy",
+    "NeoMemDaemon",
+    "make_policy",
+    "POLICY_NAMES",
+]
+
+#: the six systems of Fig. 11, plus Memtis (Fig. 17)
+POLICY_NAMES = (
+    "neomem",
+    "pebs",
+    "pte-scan",
+    "autonuma",
+    "tpp",
+    "first-touch",
+    "memtis",
+)
+
+
+def make_policy(
+    name: str,
+    num_pages: int,
+    *,
+    neomem_config: NeoMemConfig | None = None,
+    neoprof_config: NeoProfConfig | None = None,
+    **kwargs,
+):
+    """Build a policy by its figure label.
+
+    Args:
+        name: One of :data:`POLICY_NAMES` (or ``neomem-fixed-<theta>``).
+        num_pages: Workload resident-set size (profilers size arrays
+            from it).
+        neomem_config / neoprof_config: NeoMem-specific configuration.
+        kwargs: Forwarded to the policy constructor.
+    """
+    if name == "neomem":
+        return NeoMemDaemon(neomem_config, neoprof_config, **kwargs)
+    if name.startswith("neomem-fixed-"):
+        theta = float(name.rsplit("-", 1)[1])
+        return NeoMemDaemon(neomem_config, neoprof_config, fixed_threshold=theta, **kwargs)
+    if name == "pebs":
+        return PebsPolicy(num_pages, **kwargs)
+    if name == "pte-scan":
+        return PteScanPolicy(num_pages, **kwargs)
+    if name == "autonuma":
+        return AutoNumaPolicy(num_pages, **kwargs)
+    if name == "tpp":
+        return TppPolicy(num_pages, **kwargs)
+    if name == "first-touch":
+        return FirstTouchPolicy(**kwargs)
+    if name == "memtis":
+        return MemtisPolicy(num_pages, **kwargs)
+    raise ValueError(f"unknown policy {name!r}; expected one of {POLICY_NAMES}")

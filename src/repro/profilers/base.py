@@ -1,0 +1,53 @@
+"""Profiler interface and shared overhead accounting.
+
+A *profiler* is the substrate a tiering policy reads page-hotness
+information from.  The paper compares four (Table I): PTE-scan,
+hint-fault monitoring, PMU (PEBS) sampling, and NeoProf.  All four are
+modelled behind this interface so the same policies can be wired to any
+of them and the overhead/resolution trade-offs fall out of the models
+rather than being asserted.
+
+Costs are charged in nanoseconds of host CPU time returned from
+:meth:`Profiler.observe`; the engine adds them to the epoch duration.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class ProfilerCosts:
+    """Cumulative cost ledger, for Table I / Fig. 4 readouts."""
+
+    total_ns: float = 0.0
+    events: int = 0  # faults taken, samples processed, PTEs scanned...
+
+    def charge(self, ns: float, events: int = 0) -> float:
+        self.total_ns += ns
+        self.events += events
+        return ns
+
+
+class Profiler(abc.ABC):
+    """Base class for all memory-access profiling techniques."""
+
+    #: human-readable name used in reports
+    name: str = "profiler"
+
+    def __init__(self) -> None:
+        self.costs = ProfilerCosts()
+
+    @abc.abstractmethod
+    def observe(self, view) -> float:
+        """Digest one epoch; return host CPU overhead in nanoseconds."""
+
+    @abc.abstractmethod
+    def hot_candidates(self) -> np.ndarray:
+        """Pages currently believed hot, ready for promotion."""
+
+    def reset(self) -> None:
+        """Clear accumulated hotness state (not the cost ledger)."""

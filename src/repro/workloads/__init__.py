@@ -1,0 +1,36 @@
+"""Synthetic benchmark trace generators (Sec. VI-A's workload suite).
+
+Each generator reproduces the page-access signature of one of the
+paper's benchmarks; see the module docstrings for the mapping from
+published behaviour to generator structure.  Scale-down is handled by
+``experiments/config.py``, which sets ``num_pages``/``batch_size`` for
+the machine configuration being simulated.
+"""
+
+from repro.workloads.base import TraceWorkload
+from repro.workloads.btree import BtreeWorkload
+from repro.workloads.bwaves import BwavesWorkload
+from repro.workloads.deathstarbench import DeathStarBenchWorkload
+from repro.workloads.gups import GupsWorkload
+from repro.workloads.pagerank import PageRankWorkload
+from repro.workloads.redis import RedisWorkload
+from repro.workloads.registry import BENCHMARKS, make_workload, workload_names
+from repro.workloads.roms import RomsWorkload
+from repro.workloads.silo import SiloWorkload
+from repro.workloads.xsbench import XSBenchWorkload
+
+__all__ = [
+    "TraceWorkload",
+    "PageRankWorkload",
+    "XSBenchWorkload",
+    "SiloWorkload",
+    "BwavesWorkload",
+    "RomsWorkload",
+    "BtreeWorkload",
+    "GupsWorkload",
+    "DeathStarBenchWorkload",
+    "RedisWorkload",
+    "BENCHMARKS",
+    "make_workload",
+    "workload_names",
+]

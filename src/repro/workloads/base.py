@@ -1,0 +1,94 @@
+"""Workload trace-generator interface.
+
+A workload emits, epoch by epoch, batches of page-granularity accesses
+(``pages``, ``is_write``) that the engine filters through the LLC model.
+Each access denotes one 64 B load/store at a uniformly random offset
+inside the page, which is the granularity every decision in the paper is
+made at.
+
+Generators are *synthetic but signature-faithful*: each class reproduces
+the published access pattern of its benchmark (skewed hot regions for
+GUPS/XSBench, build/iterate phases for PageRank, zipfian keys for
+Silo/Redis, streaming sweeps for the SPEC workloads), scaled down by the
+global factor of ``experiments/config.py`` so runs finish in seconds.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+
+class TraceWorkload(abc.ABC):
+    """Base class for epoch-batch trace generators.
+
+    Args:
+        num_pages: Resident-set size in 4 KB pages.
+        total_batches: Number of epochs before the workload finishes.
+        batch_size: Accesses per epoch.
+        write_fraction: Probability any given access is a store.
+    """
+
+    #: registry key; subclasses override
+    name = "trace"
+
+    def __init__(
+        self,
+        num_pages: int,
+        total_batches: int,
+        batch_size: int = 1 << 16,
+        write_fraction: float = 0.3,
+    ) -> None:
+        if num_pages <= 0 or total_batches <= 0 or batch_size <= 0:
+            raise ValueError("sizes must be positive")
+        if not 0.0 <= write_fraction <= 1.0:
+            raise ValueError("write fraction must be within [0, 1]")
+        self.num_pages = int(num_pages)
+        self.total_batches = int(total_batches)
+        self.batch_size = int(batch_size)
+        self.write_fraction = float(write_fraction)
+        self.emitted = 0
+
+    # ------------------------------------------------------------------
+    def next_batch(self, rng: np.random.Generator):
+        """Engine hook: emit one epoch, or None when finished."""
+        if self.emitted >= self.total_batches:
+            return None
+        pages = self.generate(self.emitted, rng)
+        self.emitted += 1
+        pages = np.asarray(pages, dtype=np.int64)
+        if pages.size == 0:
+            raise RuntimeError(f"{self.name}: generated an empty batch")
+        if pages.min() < 0 or pages.max() >= self.num_pages:
+            raise RuntimeError(f"{self.name}: page number outside the RSS")
+        pages = self._fit_to_batch(pages)
+        is_write = rng.random(pages.size) < self.write_fraction
+        return pages, is_write
+
+    def _fit_to_batch(self, pages: np.ndarray) -> np.ndarray:
+        """Enforce the exact epoch size: truncate or cycle-pad.
+
+        Generators work in whole lookups/sweeps, so integer division can
+        leave a batch a few accesses short; cycling preserves the batch's
+        distribution.
+        """
+        if pages.size == self.batch_size:
+            return pages
+        if pages.size > self.batch_size:
+            return pages[: self.batch_size]
+        reps = -(-self.batch_size // pages.size)  # ceil division
+        return np.tile(pages, reps)[: self.batch_size]
+
+    def reset(self) -> None:
+        """Rewind the workload for a fresh run."""
+        self.emitted = 0
+
+    @property
+    def progress(self) -> float:
+        return self.emitted / self.total_batches
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def generate(self, batch_index: int, rng: np.random.Generator) -> np.ndarray:
+        """Produce the page-number array for epoch ``batch_index``."""

@@ -1,0 +1,64 @@
+"""Btree: in-memory index lookups (the Mitosis workload).
+
+Uniform random key lookups over a large B+ tree.  The level structure
+produces a natural hotness gradient: root and interior levels (a small
+fraction of the footprint) are touched by every lookup, while leaves are
+touched uniformly — so the "hot set" is the upper levels, and its size
+relative to fast memory drives the Fig. 12 ratio sensitivity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import TraceWorkload
+
+
+class BtreeWorkload(TraceWorkload):
+    """Root-to-leaf traversals with uniform keys.
+
+    Args:
+        levels: Tree depth (root to leaf).  Each lookup touches one page
+            per level.
+        fanout_fraction: Fraction of the RSS occupied by each successive
+            level (level i spans ``fanout_fraction**(levels-1-i)`` of the
+            leaf span).
+    """
+
+    name = "btree"
+
+    def __init__(
+        self,
+        num_pages: int = 131072,
+        total_batches: int = 64,
+        batch_size: int = 1 << 16,
+        levels: int = 4,
+        fanout_fraction: float = 0.02,
+    ) -> None:
+        super().__init__(num_pages, total_batches, batch_size, write_fraction=0.05)
+        if levels < 2:
+            raise ValueError("a tree needs at least two levels")
+        self.levels = int(levels)
+        # level spans, leaves last; each inner level is a small fraction
+        spans = []
+        remaining = num_pages
+        for depth in range(levels - 1):
+            span = max(1, int(num_pages * fanout_fraction ** (levels - 1 - depth)))
+            spans.append(span)
+            remaining -= span
+        if remaining <= 0:
+            raise ValueError("inner levels exceed the RSS; lower fanout_fraction")
+        spans.append(remaining)
+        self.level_spans = spans
+        self.level_starts = np.concatenate([[0], np.cumsum(spans)[:-1]]).astype(np.int64)
+
+    def generate(self, batch_index: int, rng: np.random.Generator) -> np.ndarray:
+        lookups = self.batch_size // self.levels
+        pieces = []
+        for depth in range(self.levels):
+            start = self.level_starts[depth]
+            span = self.level_spans[depth]
+            pieces.append(start + rng.integers(0, span, size=lookups))
+        out = np.concatenate(pieces)
+        rng.shuffle(out)
+        return out

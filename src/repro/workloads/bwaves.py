@@ -1,0 +1,62 @@
+"""603.bwaves_s (SPEC CPU2017): blocked streaming solver sweeps.
+
+bwaves solves blocked tridiagonal systems: the signature is repeated
+sequential sweeps over large arrays with modest reuse between sweeps —
+little page-level skew, so memory tiering mostly needs to keep the
+currently swept block resident.  Selected by the paper for its large
+RSS; all tiering systems score close together on it (Fig. 17 shows
+Memtis nearly matching NeoMem here).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import TraceWorkload
+from repro.workloads.distributions import strided_sweep
+
+
+class BwavesWorkload(TraceWorkload):
+    """Rotating blocked sweeps over a handful of large arrays.
+
+    Args:
+        num_arrays: Distinct solver arrays swept in rotation.
+        block_fraction: Fraction of an array swept per batch (the
+            cache-blocked working window).
+    """
+
+    name = "bwaves"
+
+    def __init__(
+        self,
+        num_pages: int = 196608,
+        total_batches: int = 64,
+        batch_size: int = 1 << 16,
+        num_arrays: int = 4,
+        block_fraction: float = 0.125,
+    ) -> None:
+        super().__init__(num_pages, total_batches, batch_size, write_fraction=0.4)
+        if num_arrays <= 0:
+            raise ValueError("need at least one array")
+        self.num_arrays = int(num_arrays)
+        self.array_pages = num_pages // num_arrays
+        self.block_pages = max(1, int(self.array_pages * block_fraction))
+
+    def generate(self, batch_index: int, rng: np.random.Generator) -> np.ndarray:
+        # sweep the next block of each array, round-robin over arrays
+        array_idx = batch_index % self.num_arrays
+        blocks_per_array = max(1, self.array_pages // self.block_pages)
+        block_idx = (batch_index // self.num_arrays) % blocks_per_array
+        start = array_idx * self.array_pages + block_idx * self.block_pages
+        end = min(start + self.block_pages, (array_idx + 1) * self.array_pages)
+        reps = max(1, self.batch_size // (end - start))
+        sweep = strided_sweep(start, end - start, reps)[: self.batch_size]
+        # a second array is read alongside (solver reads rhs while
+        # writing lhs): interleave a sweep of the partner block
+        partner = (array_idx + 1) % self.num_arrays
+        p_start = partner * self.array_pages + block_idx * self.block_pages
+        p_end = min(p_start + self.block_pages, (partner + 1) * self.array_pages)
+        p_reps = max(1, (self.batch_size - sweep.size) // max(p_end - p_start, 1))
+        partner_sweep = strided_sweep(p_start, p_end - p_start, p_reps)
+        out = np.concatenate([sweep, partner_sweep])[: self.batch_size]
+        return out

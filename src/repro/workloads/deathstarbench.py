@@ -1,0 +1,75 @@
+"""DeathStarBench: microservice datacenter benchmark (social network).
+
+DeathStarBench's memory behaviour is a *mix*: per-service caches with
+zipfian item popularity (memcached/Redis-like), request/session state
+with short lifetimes, and append-mostly logs.  The hot set is moderate
+and shifts slowly as item popularity churns — the regime where the
+paper reports NeoMem's 1.19-1.67x wins over baselines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import TraceWorkload
+from repro.workloads.distributions import bounded_zipf, strided_sweep
+
+
+class DeathStarBenchWorkload(TraceWorkload):
+    """Service mix: zipf caches + churning sessions + log appends.
+
+    Args:
+        cache_fraction: RSS share held by service caches.
+        session_fraction: RSS share held by request/session state.
+        churn_every: Item popularity reshuffles every N batches (slow
+            drift of the hot set).
+    """
+
+    name = "deathstarbench"
+
+    def __init__(
+        self,
+        num_pages: int = 131072,
+        total_batches: int = 64,
+        batch_size: int = 1 << 16,
+        cache_fraction: float = 0.5,
+        session_fraction: float = 0.2,
+        churn_every: int = 12,
+        zipf_exponent: float = 1.05,
+        seed_offset: int = 0,
+    ) -> None:
+        super().__init__(num_pages, total_batches, batch_size, write_fraction=0.3)
+        self.cache_pages = max(1, int(num_pages * cache_fraction))
+        self.session_pages = max(1, int(num_pages * session_fraction))
+        self.log_pages = num_pages - self.cache_pages - self.session_pages
+        if self.log_pages <= 0:
+            raise ValueError("cache+session fractions leave no room for logs")
+        self.churn_every = int(churn_every)
+        self.zipf_exponent = float(zipf_exponent)
+        self.seed_offset = int(seed_offset)
+        self._log_cursor = 0
+
+    def _popularity_permutation(self, batch_index: int) -> np.ndarray:
+        """Item->page mapping, reshuffled every ``churn_every`` batches."""
+        era = batch_index // self.churn_every if self.churn_every else 0
+        perm_rng = np.random.default_rng(1000 + self.seed_offset + era)
+        return perm_rng.permutation(self.cache_pages)
+
+    def generate(self, batch_index: int, rng: np.random.Generator) -> np.ndarray:
+        n_cache = int(self.batch_size * 0.6)
+        n_session = int(self.batch_size * 0.3)
+        n_log = self.batch_size - n_cache - n_session
+        # zipf item popularity mapped through the era's permutation
+        items = bounded_zipf(rng, self.cache_pages, n_cache, self.zipf_exponent)
+        cache_hits = self._popularity_permutation(batch_index)[items]
+        # sessions: uniform over the session arena (short-lived state)
+        sessions = self.cache_pages + rng.integers(0, self.session_pages, size=n_session)
+        # logs: sequential appends with wraparound
+        log_start = self.cache_pages + self.session_pages
+        span = max(1, n_log // 64)
+        cursor = self._log_cursor % max(self.log_pages - span, 1)
+        appends = log_start + strided_sweep(cursor, span, max(1, n_log // span))[:n_log]
+        self._log_cursor += span
+        out = np.concatenate([cache_hits, sessions, appends])
+        rng.shuffle(out)
+        return out

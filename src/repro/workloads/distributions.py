@@ -1,0 +1,78 @@
+"""Reusable page-access distribution primitives.
+
+The benchmark generators compose these: bounded zipfian key popularity
+(databases and caches), hot-set mixtures (GUPS/XSBench's skewed
+regions), and strided streaming sweeps (SPEC array codes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def bounded_zipf(
+    rng: np.random.Generator, num_items: int, size: int, exponent: float = 0.99
+) -> np.ndarray:
+    """Sample ``size`` items from a zipf(``exponent``) law over
+    ``[0, num_items)``.
+
+    Uses inverse-CDF sampling against the exact normalized weights, so
+    the distribution is properly bounded (``np.random.zipf`` is not).
+    YCSB's default skew is 0.99.
+    """
+    if num_items <= 0 or size < 0:
+        raise ValueError("num_items must be positive, size non-negative")
+    if exponent <= 0:
+        raise ValueError("exponent must be positive")
+    ranks = np.arange(1, num_items + 1, dtype=np.float64)
+    weights = ranks**-exponent
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+    return np.searchsorted(cdf, rng.random(size)).astype(np.int64)
+
+
+def hot_set_mixture(
+    rng: np.random.Generator,
+    num_pages: int,
+    size: int,
+    hot_pages: np.ndarray,
+    hot_fraction: float,
+) -> np.ndarray:
+    """``hot_fraction`` of accesses land uniformly in ``hot_pages``, the
+    rest uniformly over the whole space (the HeMem-style skewed GUPS)."""
+    if not 0.0 <= hot_fraction <= 1.0:
+        raise ValueError("hot fraction must be within [0, 1]")
+    hot_pages = np.asarray(hot_pages, dtype=np.int64)
+    if hot_pages.size == 0 and hot_fraction > 0:
+        raise ValueError("need hot pages when hot_fraction > 0")
+    n_hot = int(size * hot_fraction)
+    picks_hot = rng.choice(hot_pages, size=n_hot) if n_hot else np.zeros(0, dtype=np.int64)
+    picks_cold = rng.integers(0, num_pages, size=size - n_hot)
+    out = np.concatenate([picks_hot, picks_cold])
+    rng.shuffle(out)
+    return out
+
+
+def strided_sweep(
+    start_page: int, num_pages_in_sweep: int, accesses_per_page: int
+) -> np.ndarray:
+    """Sequential sweep over a page range, ``accesses_per_page`` touches
+    each (streaming array kernels: bwaves/roms-style)."""
+    if num_pages_in_sweep <= 0 or accesses_per_page <= 0:
+        raise ValueError("sweep sizes must be positive")
+    pages = np.arange(start_page, start_page + num_pages_in_sweep, dtype=np.int64)
+    return np.repeat(pages, accesses_per_page)
+
+
+def gaussian_working_set(
+    rng: np.random.Generator,
+    num_pages: int,
+    size: int,
+    center: float,
+    spread: float,
+) -> np.ndarray:
+    """Accesses clustered around a moving center (phase-drifting codes)."""
+    if spread <= 0:
+        raise ValueError("spread must be positive")
+    raw = rng.normal(center, spread, size=size)
+    return np.clip(raw, 0, num_pages - 1).astype(np.int64)

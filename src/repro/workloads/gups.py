@@ -1,0 +1,66 @@
+"""GUPS microbenchmark (HPCC RandomAccess), HeMem-skewed variant.
+
+The paper follows HeMem's practice: 90 % of updates hit a fixed hot
+region, 10 % fall uniformly over the whole working set (footnote 3 and
+the Fig. 16 methodology).  The Fig. 16 convergence study additionally
+*relocates* the hot region mid-run; ``relocate_at`` reproduces that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import TraceWorkload
+from repro.workloads.distributions import hot_set_mixture
+
+
+class GupsWorkload(TraceWorkload):
+    """Skewed random updates with an optionally moving hot set.
+
+    Args:
+        num_pages: Working-set size.
+        hot_fraction_of_pages: Hot-region size as a fraction of the RSS.
+        hot_access_fraction: Fraction of accesses that hit the hot
+            region (0.9 per HeMem).
+        relocate_at: Batch index at which the hot region jumps to a
+            disjoint location (None = never; Fig. 16 uses mid-run).
+    """
+
+    name = "gups"
+
+    def __init__(
+        self,
+        num_pages: int = 65536,
+        total_batches: int = 64,
+        batch_size: int = 1 << 16,
+        hot_fraction_of_pages: float = 0.1,
+        hot_access_fraction: float = 0.9,
+        relocate_at: int | None = None,
+        write_fraction: float = 0.5,  # read-modify-write updates
+    ) -> None:
+        super().__init__(num_pages, total_batches, batch_size, write_fraction)
+        if not 0 < hot_fraction_of_pages < 1:
+            raise ValueError("hot region must be a proper fraction of the RSS")
+        self.hot_access_fraction = float(hot_access_fraction)
+        self.hot_region_pages = max(1, int(num_pages * hot_fraction_of_pages))
+        self.relocate_at = relocate_at
+        self._hot_start = 0
+
+    def hot_pages(self, batch_index: int) -> np.ndarray:
+        """The hot region active during ``batch_index``."""
+        start = self._hot_start
+        if self.relocate_at is not None and batch_index >= self.relocate_at:
+            # jump to the far half of the address space
+            start = (self._hot_start + self.num_pages // 2) % (
+                self.num_pages - self.hot_region_pages
+            )
+        return np.arange(start, start + self.hot_region_pages, dtype=np.int64)
+
+    def generate(self, batch_index: int, rng: np.random.Generator) -> np.ndarray:
+        return hot_set_mixture(
+            rng,
+            self.num_pages,
+            self.batch_size,
+            self.hot_pages(batch_index),
+            self.hot_access_fraction,
+        )

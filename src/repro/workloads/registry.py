@@ -1,0 +1,56 @@
+"""Name -> workload factory, the set evaluated in Figs. 11-13 and 17."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.workloads.base import TraceWorkload
+from repro.workloads.btree import BtreeWorkload
+from repro.workloads.bwaves import BwavesWorkload
+from repro.workloads.deathstarbench import DeathStarBenchWorkload
+from repro.workloads.gups import GupsWorkload
+from repro.workloads.pagerank import PageRankWorkload
+from repro.workloads.redis import RedisWorkload
+from repro.workloads.roms import RomsWorkload
+from repro.workloads.silo import SiloWorkload
+from repro.workloads.xsbench import XSBenchWorkload
+
+_FACTORIES: dict[str, Callable[..., TraceWorkload]] = {
+    "pagerank": PageRankWorkload,
+    "xsbench": XSBenchWorkload,
+    "silo": SiloWorkload,
+    "bwaves": BwavesWorkload,
+    "roms": RomsWorkload,
+    "btree": BtreeWorkload,
+    "gups": GupsWorkload,
+    "deathstarbench": DeathStarBenchWorkload,
+    "redis": RedisWorkload,
+}
+
+#: the eight benchmarks of Fig. 11, in the paper's plotting order
+BENCHMARKS = (
+    "pagerank",
+    "xsbench",
+    "silo",
+    "bwaves",
+    "roms",
+    "btree",
+    "gups",
+    "deathstarbench",
+)
+
+
+def workload_names() -> tuple[str, ...]:
+    """All registered workload names (benchmarks + redis)."""
+    return tuple(_FACTORIES)
+
+
+def make_workload(name: str, **kwargs) -> TraceWorkload:
+    """Instantiate a workload by name with overrides."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown workload {name!r}; expected one of {tuple(_FACTORIES)}"
+        ) from exc
+    return factory(**kwargs)

@@ -1,0 +1,60 @@
+"""654.roms_s (SPEC CPU2017): ocean-model stencil sweeps.
+
+ROMS advances a regional ocean model: many field arrays updated by
+stencil kernels each timestep.  The page-level signature is a per-
+timestep pass over every field with strong reuse of boundary/diagnostic
+regions — a mild hotness gradient on top of streaming traffic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import TraceWorkload
+from repro.workloads.distributions import gaussian_working_set, strided_sweep
+
+
+class RomsWorkload(TraceWorkload):
+    """Stencil timesteps: full-field sweeps plus hot boundary bands.
+
+    Args:
+        num_fields: Field arrays updated each timestep.
+        boundary_fraction: Fraction of the grid that is boundary/
+            diagnostic (re-touched every kernel, hence hot).
+    """
+
+    name = "roms"
+
+    def __init__(
+        self,
+        num_pages: int = 163840,
+        total_batches: int = 64,
+        batch_size: int = 1 << 16,
+        num_fields: int = 8,
+        boundary_fraction: float = 0.04,
+    ) -> None:
+        super().__init__(num_pages, total_batches, batch_size, write_fraction=0.45)
+        self.num_fields = int(num_fields)
+        self.field_pages = num_pages // num_fields
+        self.boundary_pages = max(1, int(num_pages * boundary_fraction))
+
+    def generate(self, batch_index: int, rng: np.random.Generator) -> np.ndarray:
+        # one timestep touches a slice of every field...
+        slices = []
+        slice_pages = max(1, self.field_pages // 8)
+        offset = (batch_index * slice_pages) % max(self.field_pages - slice_pages, 1)
+        budget_stream = int(self.batch_size * 0.7)
+        per_field = max(1, budget_stream // (self.num_fields * slice_pages))
+        for field in range(self.num_fields):
+            start = field * self.field_pages + offset
+            slices.append(strided_sweep(start, slice_pages, per_field))
+        stream = np.concatenate(slices)[:budget_stream]
+        # ...plus repeated hits on the boundary bands (front of each field)
+        n_boundary = self.batch_size - stream.size
+        boundary = gaussian_working_set(
+            rng, self.boundary_pages, n_boundary, center=self.boundary_pages / 2,
+            spread=self.boundary_pages / 4,
+        )
+        out = np.concatenate([stream, boundary])
+        rng.shuffle(out)
+        return out

@@ -1,0 +1,51 @@
+"""Silo in-memory database under YCSB-C (read-only zipfian lookups).
+
+Silo (Tu et al., SOSP 2013) run with YCSB-C, as the paper does: 100 %
+point reads with zipf(0.99) key popularity over a large table, plus
+index-node touches that concentrate on the upper B+-tree levels (a
+small, very hot region).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import TraceWorkload
+from repro.workloads.distributions import bounded_zipf
+
+
+class SiloWorkload(TraceWorkload):
+    """YCSB-C over an in-memory table.
+
+    Args:
+        index_fraction: Fraction of the RSS holding interior index
+            nodes (hammered on every lookup).
+        zipf_exponent: Key popularity (YCSB default 0.99).
+    """
+
+    name = "silo"
+
+    def __init__(
+        self,
+        num_pages: int = 131072,
+        total_batches: int = 64,
+        batch_size: int = 1 << 16,
+        index_fraction: float = 0.03,
+        zipf_exponent: float = 0.99,
+    ) -> None:
+        # YCSB-C is read-only; a trickle of writes models version upkeep
+        super().__init__(num_pages, total_batches, batch_size, write_fraction=0.02)
+        self.index_pages = max(1, int(num_pages * index_fraction))
+        self.record_pages = self.num_pages - self.index_pages
+        self.zipf_exponent = float(zipf_exponent)
+
+    def generate(self, batch_index: int, rng: np.random.Generator) -> np.ndarray:
+        # each lookup = 2 index-node touches + 1 record touch
+        lookups = self.batch_size // 3
+        index_hits = rng.integers(0, self.index_pages, size=2 * lookups)
+        records = self.index_pages + bounded_zipf(
+            rng, self.record_pages, lookups, self.zipf_exponent
+        )
+        out = np.concatenate([index_hits, records])
+        rng.shuffle(out)
+        return out

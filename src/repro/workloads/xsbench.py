@@ -1,0 +1,54 @@
+"""XSBench (Monte Carlo neutron-transport cross-section lookup).
+
+XSBench's memory signature: huge read-mostly lookup tables (nuclide
+grids) where the *unionized energy grid* concentrates accesses — energy
+levels near thermal peaks are looked up far more often, producing the
+"skewed hot memory regions" the paper highlights (Sec. VI-C: NeoMem's
+largest wins, 2.8-3.5x, come from XSBench).  The generator models the
+grid as zipf-popular rows plus a small uniformly-hammered index region.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import TraceWorkload
+from repro.workloads.distributions import bounded_zipf
+
+
+class XSBenchWorkload(TraceWorkload):
+    """Zipf-skewed read-mostly table lookups.
+
+    Args:
+        index_fraction: Fraction of the RSS holding the energy-grid
+            index (touched by every lookup).
+        zipf_exponent: Popularity skew over the nuclide-grid rows.
+        lookups_per_batch: Each lookup touches the index once plus a
+            handful of grid rows.
+    """
+
+    name = "xsbench"
+
+    def __init__(
+        self,
+        num_pages: int = 131072,
+        total_batches: int = 64,
+        batch_size: int = 1 << 16,
+        index_fraction: float = 0.02,
+        zipf_exponent: float = 1.2,
+        write_fraction: float = 0.02,  # essentially read-only
+    ) -> None:
+        super().__init__(num_pages, total_batches, batch_size, write_fraction)
+        self.index_pages = max(1, int(num_pages * index_fraction))
+        self.zipf_exponent = float(zipf_exponent)
+        self.grid_pages = self.num_pages - self.index_pages
+
+    def generate(self, batch_index: int, rng: np.random.Generator) -> np.ndarray:
+        # each lookup = 1 index touch + 3 grid-row touches
+        lookups = self.batch_size // 4
+        index_hits = rng.integers(0, self.index_pages, size=lookups)
+        grid_rows = bounded_zipf(rng, self.grid_pages, 3 * lookups, self.zipf_exponent)
+        grid_hits = self.index_pages + grid_rows
+        out = np.concatenate([index_hits, grid_hits])
+        rng.shuffle(out)
+        return out

@@ -1,0 +1,148 @@
+"""Tests for the hot-page detector pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.neoprof.detector import HotPageDetector
+from repro.core.neoprof.sketch import CountMinSketch
+
+
+def make_detector(threshold=10, buffer_entries=16, width=4096):
+    sketch = CountMinSketch(width=width, depth=2)
+    return HotPageDetector(sketch, threshold=threshold, buffer_entries=buffer_entries)
+
+
+class TestDetection:
+    def test_hot_page_detected(self):
+        det = make_detector(threshold=10)
+        det.observe(np.full(11, 42, dtype=np.uint64))
+        assert det.pending == 1
+        assert det.drain().tolist() == [42]
+
+    def test_cold_page_not_detected(self):
+        det = make_detector(threshold=10)
+        det.observe(np.full(10, 42, dtype=np.uint64))  # == theta, not >
+        assert det.pending == 0
+
+    def test_threshold_strictly_greater(self):
+        """Eq. 4: isHot iff a_hat > theta."""
+        det = make_detector(threshold=5)
+        det.observe(np.full(5, 1, dtype=np.uint64))
+        assert det.pending == 0
+        det.observe(np.full(1, 1, dtype=np.uint64))
+        assert det.pending == 1
+
+    def test_multiple_hot_pages(self):
+        det = make_detector(threshold=3)
+        batch = np.concatenate([
+            np.full(5, 10, dtype=np.uint64),
+            np.full(7, 20, dtype=np.uint64),
+            np.full(2, 30, dtype=np.uint64),  # cold
+        ])
+        det.observe(batch)
+        assert sorted(det.drain().tolist()) == [10, 20]
+
+    def test_accumulates_across_batches(self):
+        det = make_detector(threshold=10)
+        for _ in range(3):
+            det.observe(np.full(4, 9, dtype=np.uint64))
+        assert det.pending == 1  # 12 accesses total
+
+    def test_empty_batch(self):
+        det = make_detector()
+        assert det.observe(np.array([], dtype=np.uint64)) == 0
+
+
+class TestHotPageFilter:
+    def test_no_duplicate_reports(self):
+        """Fig. 7's hot-bit filter: a hot page is reported only once."""
+        det = make_detector(threshold=5)
+        det.observe(np.full(10, 7, dtype=np.uint64))
+        det.observe(np.full(10, 7, dtype=np.uint64))
+        det.observe(np.full(10, 7, dtype=np.uint64))
+        assert det.pending == 1
+
+    def test_reported_again_after_clear(self):
+        det = make_detector(threshold=5)
+        det.observe(np.full(10, 7, dtype=np.uint64))
+        det.drain()
+        det.clear()
+        det.observe(np.full(10, 7, dtype=np.uint64))
+        assert det.pending == 1
+
+    def test_detected_total_counts_unique(self):
+        det = make_detector(threshold=2)
+        det.observe(np.repeat(np.arange(5, dtype=np.uint64), 4))
+        det.observe(np.repeat(np.arange(5, dtype=np.uint64), 4))
+        assert det.detected_total == 5
+
+
+class TestBuffer:
+    def test_buffer_overflow_drops(self):
+        det = make_detector(threshold=1, buffer_entries=4)
+        det.observe(np.repeat(np.arange(10, dtype=np.uint64), 3))
+        assert det.pending == 4
+        assert det.dropped_reports == 6
+
+    def test_drain_limit(self):
+        det = make_detector(threshold=1)
+        det.observe(np.repeat(np.arange(6, dtype=np.uint64), 3))
+        first = det.drain(2)
+        assert first.size == 2
+        assert det.pending == 4
+
+    def test_drain_order_fifo(self):
+        det = make_detector(threshold=2)
+        det.observe(np.full(5, 100, dtype=np.uint64))
+        det.observe(np.full(5, 200, dtype=np.uint64))
+        assert det.drain().tolist() == [100, 200]
+
+    def test_clear_empties_buffer(self):
+        det = make_detector(threshold=1)
+        det.observe(np.full(3, 5, dtype=np.uint64))
+        det.clear()
+        assert det.pending == 0
+        assert det.dropped_reports == 0
+
+
+class TestConfiguration:
+    def test_set_threshold(self):
+        det = make_detector(threshold=100)
+        det.set_threshold(2)
+        det.observe(np.full(3, 9, dtype=np.uint64))
+        assert det.pending == 1
+
+    def test_invalid_threshold(self):
+        det = make_detector()
+        with pytest.raises(ValueError):
+            det.set_threshold(-1)
+        with pytest.raises(ValueError):
+            HotPageDetector(threshold=-5)
+
+    def test_invalid_buffer(self):
+        with pytest.raises(ValueError):
+            HotPageDetector(buffer_entries=0)
+
+    def test_default_sketch_created(self):
+        det = HotPageDetector(threshold=1)
+        assert det.sketch.width == 512 * 1024
+
+
+class TestRecallPrecision:
+    def test_skewed_stream_recall(self):
+        """Hot pages of a skewed stream must all be detected (G1)."""
+        rng = np.random.default_rng(5)
+        hot_pages = np.arange(20, dtype=np.uint64)
+        det = make_detector(threshold=50, width=8192, buffer_entries=1024)
+        for _ in range(10):
+            hot = rng.choice(hot_pages, size=2000)  # ~100 accesses each
+            cold = rng.integers(100, 10_000, size=500).astype(np.uint64)
+            batch = np.concatenate([hot, cold])
+            rng.shuffle(batch)
+            det.observe(batch)
+        detected = set(det.drain().tolist())
+        assert set(range(20)) <= detected
+        # Cold pages have ~1 access each; none should cross theta=50
+        # except via collisions, which the 8K-wide sketch makes rare.
+        false_positives = detected - set(range(20))
+        assert len(false_positives) <= 2

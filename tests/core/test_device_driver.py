@@ -1,0 +1,170 @@
+"""Tests for the assembled NeoProf device, MMIO interface and driver."""
+
+import numpy as np
+import pytest
+
+from repro.core.driver import NeoProfDriver
+from repro.core.neoprof.device import NeoProfConfig, NeoProfDevice
+from repro.core.neoprof.mmio import MmioError, NeoProfCommand
+
+
+def make_device(**overrides):
+    defaults = dict(sketch_width=4096, hot_buffer_entries=64, initial_threshold=5)
+    defaults.update(overrides)
+    return NeoProfDevice(NeoProfConfig(**defaults))
+
+
+def snoop_hot(device, page=7, count=10):
+    pages = np.full(count, page, dtype=np.int64)
+    device.snoop(pages, np.zeros(count, dtype=bool), elapsed_ns=10_000)
+
+
+class TestMmioInterface:
+    def test_bad_offset_rejected(self):
+        device = make_device()
+        with pytest.raises(MmioError):
+            device.mmio_read(0x123)
+
+    def test_direction_enforced(self):
+        device = make_device()
+        with pytest.raises(MmioError):
+            device.mmio_read(NeoProfCommand.RESET)
+        with pytest.raises(MmioError):
+            device.mmio_write(NeoProfCommand.GET_NR_HOT_PAGE, 1)
+
+    def test_get_nr_hot_page(self):
+        device = make_device()
+        snoop_hot(device)
+        assert device.mmio_read(NeoProfCommand.GET_NR_HOT_PAGE) == 1
+
+    def test_get_hot_page_drains_fifo(self):
+        device = make_device()
+        snoop_hot(device, page=7)
+        assert device.mmio_read(NeoProfCommand.GET_HOT_PAGE) == 7
+        assert device.mmio_read(NeoProfCommand.GET_HOT_PAGE) == -1  # empty
+
+    def test_set_threshold(self):
+        device = make_device()
+        device.mmio_write(NeoProfCommand.SET_THRESHOLD, 100)
+        snoop_hot(device, count=50)
+        assert device.mmio_read(NeoProfCommand.GET_NR_HOT_PAGE) == 0
+
+    def test_reset_clears_everything(self):
+        device = make_device()
+        snoop_hot(device)
+        device.mmio_write(NeoProfCommand.RESET, 1)
+        assert device.mmio_read(NeoProfCommand.GET_NR_HOT_PAGE) == 0
+        assert device.mmio_read(NeoProfCommand.GET_NR_SAMPLE) == 0
+
+    def test_state_counters(self):
+        device = make_device()
+        pages = np.arange(100, dtype=np.int64)
+        is_write = np.zeros(100, dtype=bool)
+        is_write[:25] = True
+        device.snoop(pages, is_write, elapsed_ns=1_000_000)
+        rd = device.mmio_read(NeoProfCommand.GET_RD_CNT)
+        wr = device.mmio_read(NeoProfCommand.GET_WR_CNT)
+        assert rd == 75
+        assert wr == 25
+        assert device.mmio_read(NeoProfCommand.GET_NR_SAMPLE) > 0
+
+    def test_histogram_protocol(self):
+        device = make_device()
+        snoop_hot(device, count=20)
+        device.mmio_write(NeoProfCommand.SET_HIST_EN, 1)
+        nr_bins = device.mmio_read(NeoProfCommand.GET_NR_HIST_BIN)
+        assert nr_bins == 64
+        values = [device.mmio_read(NeoProfCommand.GET_HIST) for _ in range(nr_bins)]
+        assert sum(values) == device.config.sketch_width
+
+    def test_histogram_read_before_enable_fails(self):
+        device = make_device()
+        with pytest.raises(MmioError):
+            device.mmio_read(NeoProfCommand.GET_HIST)
+
+    def test_histogram_overread_fails(self):
+        device = make_device()
+        device.mmio_write(NeoProfCommand.SET_HIST_EN, 1)
+        for _ in range(64):
+            device.mmio_read(NeoProfCommand.GET_HIST)
+        with pytest.raises(MmioError):
+            device.mmio_read(NeoProfCommand.GET_HIST)
+
+    def test_mmio_time_accumulates(self):
+        device = make_device()
+        device.mmio_write(NeoProfCommand.RESET, 1)
+        device.mmio_read(NeoProfCommand.GET_NR_HOT_PAGE)
+        assert device.mmio_time_ns == pytest.approx(2 * 500.0)
+        assert device.drain_mmio_time() == pytest.approx(1000.0)
+        assert device.mmio_time_ns == 0.0
+
+
+class TestSnoop:
+    def test_snoop_counts_requests(self):
+        device = make_device()
+        device.snoop(np.arange(10), np.zeros(10, dtype=bool), 1000)
+        assert device.snooped_requests == 10
+
+    def test_snoop_shape_mismatch(self):
+        device = make_device()
+        with pytest.raises(ValueError):
+            device.snoop(np.arange(3), np.zeros(2, dtype=bool), 1000)
+
+
+class TestDriver:
+    def test_read_hot_pages(self):
+        device = make_device()
+        driver = NeoProfDriver(device)
+        snoop_hot(device, page=3)
+        snoop_hot(device, page=9)
+        pages = driver.read_hot_pages()
+        assert sorted(pages.tolist()) == [3, 9]
+
+    def test_read_hot_pages_limit(self):
+        device = make_device(initial_threshold=1)
+        driver = NeoProfDriver(device)
+        for p in range(5):
+            snoop_hot(device, page=p, count=3)
+        assert driver.read_hot_pages(max_pages=2).size == 2
+
+    def test_read_state(self):
+        device = make_device()
+        driver = NeoProfDriver(device)
+        device.snoop(np.arange(40), np.ones(40, dtype=bool), 100_000)
+        state = driver.read_state()
+        assert state.write_cycles == 40
+        assert state.read_cycles == 0
+
+    def test_read_histogram(self):
+        device = make_device()
+        driver = NeoProfDriver(device)
+        snoop_hot(device)
+        snap = driver.read_histogram()
+        assert snap.total == device.config.sketch_width
+
+    def test_reset_and_threshold(self):
+        device = make_device()
+        driver = NeoProfDriver(device)
+        driver.set_threshold(3)
+        assert device.detector.threshold == 3
+        snoop_hot(device, count=5)
+        driver.reset()
+        assert device.detector.pending == 0
+
+    def test_overhead_accounting(self):
+        device = make_device()
+        driver = NeoProfDriver(device)
+        driver.reset()
+        overhead = driver.drain_cpu_overhead_ns()
+        assert overhead == pytest.approx(500.0)
+        assert driver.drain_cpu_overhead_ns() == 0.0
+
+    def test_histogram_mmio_cost_is_bounded(self):
+        """Reading 64 bins must beat reading 4096 raw counters (Fig. 9)."""
+        device = make_device()
+        driver = NeoProfDriver(device)
+        driver.drain_cpu_overhead_ns()
+        driver.read_histogram()
+        cost = driver.drain_cpu_overhead_ns()
+        raw_cost = device.config.sketch_width * device.config.mmio_latency_ns
+        assert cost < raw_cost / 10

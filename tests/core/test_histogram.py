@@ -1,0 +1,169 @@
+"""Tests for the histogram unit and error-bound estimation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.neoprof.histogram import (
+    HistogramUnit,
+    loose_error_bound,
+    tight_error_bound,
+)
+
+
+class TestHistogramUnit:
+    def test_bin_count(self):
+        unit = HistogramUnit(64)
+        snap = unit.compute(np.arange(1000))
+        assert len(snap.counts) == 64
+        assert len(snap.edges) == 65
+
+    def test_total_preserved(self):
+        unit = HistogramUnit(64)
+        counters = np.random.default_rng(0).integers(0, 5000, size=4096)
+        snap = unit.compute(counters)
+        assert snap.total == 4096
+
+    def test_power_of_two_bin_width(self):
+        unit = HistogramUnit(64)
+        snap = unit.compute(np.array([0, 1000]))
+        # bin 0 is the exact-zero bin; interior bins share a power-of-
+        # two width computed by shifting
+        width = int(snap.edges[2] - snap.edges[1])
+        assert width & (width - 1) == 0
+        assert snap.edges[-1] > 1000
+
+    def test_zero_bin_is_exact(self):
+        unit = HistogramUnit(64)
+        snap = unit.compute(np.array([0, 0, 0, 7, 9000]))
+        assert snap.edges[0] == 0
+        assert snap.edges[1] == 1
+        assert snap.counts[0] == 3
+
+    def test_small_counters_get_fine_bins(self):
+        unit = HistogramUnit(64)
+        snap = unit.compute(np.array([0, 1, 2, 3]))
+        assert snap.edges[1] - snap.edges[0] == 1
+
+    def test_all_zero_counters(self):
+        unit = HistogramUnit(64)
+        snap = unit.compute(np.zeros(100, dtype=np.int64))
+        assert snap.counts[0] == 100
+        assert snap.counts[1:].sum() == 0
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            HistogramUnit(1)
+
+    def test_computations_counted(self):
+        unit = HistogramUnit()
+        unit.compute(np.arange(10))
+        unit.compute(np.arange(10))
+        assert unit.computations == 2
+
+
+class TestQuantile:
+    def test_quantile_uniform(self):
+        unit = HistogramUnit(64)
+        snap = unit.compute(np.arange(64))  # one counter per bin
+        mid = snap.quantile(0.5)
+        assert 28 <= mid <= 36
+
+    def test_quantile_bounds(self):
+        unit = HistogramUnit(64)
+        snap = unit.compute(np.arange(100))
+        assert snap.quantile(0.0) >= 0
+        assert snap.quantile(1.0) >= 99
+
+    def test_quantile_validation(self):
+        unit = HistogramUnit(64)
+        snap = unit.compute(np.arange(10))
+        with pytest.raises(ValueError):
+            snap.quantile(-0.1)
+        with pytest.raises(ValueError):
+            snap.quantile(1.1)
+
+    def test_quantile_empty(self):
+        unit = HistogramUnit(64)
+        snap = unit.compute(np.zeros(0, dtype=np.int64))
+        assert snap.quantile(0.5) == 0.0
+
+    def test_quantile_monotone(self):
+        unit = HistogramUnit(64)
+        counters = np.random.default_rng(1).integers(0, 10_000, size=2048)
+        snap = unit.compute(counters)
+        values = [snap.quantile(x) for x in np.linspace(0, 1, 21)]
+        assert values == sorted(values)
+
+    def test_descending_percentile(self):
+        unit = HistogramUnit(64)
+        snap = unit.compute(np.arange(128))
+        # The 10 % largest counters start around 115.
+        val = snap.descending_percentile(0.1)
+        assert 100 <= val <= 128
+
+
+class TestErrorBounds:
+    def test_tight_bound_is_median_for_paper_params(self):
+        """D=2, delta=0.25 -> the bound is the row median (paper example)."""
+        unit = HistogramUnit(64)
+        counters = np.concatenate([np.zeros(512), np.full(512, 100)])
+        snap = unit.compute(counters)
+        bound = tight_error_bound(snap, depth=2, delta=0.25)
+        # median sits at the 0/100 boundary; bin resolution permits
+        # either side of it
+        assert 0 <= bound <= 104
+
+    def test_tight_bound_zero_for_empty_sketch(self):
+        unit = HistogramUnit(64)
+        snap = unit.compute(np.zeros(1024, dtype=np.int64))
+        assert tight_error_bound(snap, depth=2) <= 1
+
+    def test_tight_bound_grows_with_load(self):
+        unit = HistogramUnit(64)
+        light = unit.compute(np.random.default_rng(0).poisson(2, size=4096))
+        heavy = unit.compute(np.random.default_rng(0).poisson(200, size=4096))
+        assert tight_error_bound(heavy, depth=2) > tight_error_bound(light, depth=2)
+
+    def test_tight_bound_validation(self):
+        unit = HistogramUnit(64)
+        snap = unit.compute(np.arange(10))
+        with pytest.raises(ValueError):
+            tight_error_bound(snap, depth=0)
+        with pytest.raises(ValueError):
+            tight_error_bound(snap, depth=2, delta=1.5)
+
+    def test_loose_bound(self):
+        assert loose_error_bound(0.001, 1_000_000) == pytest.approx(1000)
+        with pytest.raises(ValueError):
+            loose_error_bound(0, 100)
+
+    def test_tight_bound_tighter_than_loose_under_skew(self):
+        """The point of Chen et al.: skewed rows give a far smaller e."""
+        # 4096 counters, nearly all tiny, a chunk of huge heavy hitters.
+        # (The histogram's bin width quantizes the tight bound upward by
+        # one bin, so the skew must be pronounced for the comparison.)
+        counters = np.zeros(4096, dtype=np.int64)
+        counters[:200] = 60_000
+        total = int(counters.sum())
+        unit = HistogramUnit(64)
+        snap = unit.compute(counters)
+        tight = tight_error_bound(snap, depth=2, delta=0.25)
+        loose = loose_error_bound(2.0 / 4096, total)
+        assert tight < loose
+
+
+class TestProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=500))
+    @settings(max_examples=50, deadline=None)
+    def test_total_always_preserved(self, counters):
+        unit = HistogramUnit(64)
+        snap = unit.compute(np.array(counters))
+        assert snap.total == len(counters)
+
+    @given(st.lists(st.integers(min_value=0, max_value=100_000), min_size=2, max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_quantile_covers_max(self, counters):
+        unit = HistogramUnit(64)
+        snap = unit.compute(np.array(counters))
+        assert snap.quantile(1.0) >= max(counters)

@@ -1,0 +1,160 @@
+"""Tests for Algorithm 1 (dynamic hotness-threshold adjustment)."""
+
+import numpy as np
+import pytest
+
+from repro.core.neoprof.histogram import HistogramUnit
+from repro.core.policy import (
+    DynamicThresholdPolicy,
+    FixedThresholdPolicy,
+    ThresholdPolicyConfig,
+)
+
+
+def make_histogram(counters=None):
+    if counters is None:
+        # long-tailed distribution: mostly small, some large
+        rng = np.random.default_rng(0)
+        counters = rng.zipf(1.5, size=8192).clip(0, 5000)
+    return HistogramUnit(64).compute(np.asarray(counters))
+
+
+def make_policy(**overrides):
+    defaults = dict(p_min=0.001, p_max=0.1, p_init=0.01, migration_quota_pages=1000)
+    defaults.update(overrides)
+    return DynamicThresholdPolicy(ThresholdPolicyConfig(**defaults))
+
+
+def update(policy, hist=None, B=0.0, P=0.0, E=0.0, M=0):
+    return policy.update(
+        histogram=hist or make_histogram(),
+        bandwidth_util=B,
+        ping_pong_ratio=P,
+        error_bound=E,
+        migrated_pages=M,
+    )
+
+
+class TestConfigValidation:
+    def test_percentile_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            ThresholdPolicyConfig(p_min=0.5, p_init=0.1, p_max=0.9)
+
+    def test_quota_positive(self):
+        with pytest.raises(ValueError):
+            ThresholdPolicyConfig(migration_quota_pages=0)
+
+    def test_defaults_match_table_v(self):
+        cfg = ThresholdPolicyConfig()
+        assert cfg.p_min == pytest.approx(0.0001)
+        assert cfg.p_max == pytest.approx(0.0156)
+        assert cfg.p_init == pytest.approx(0.001)
+        assert cfg.alpha == 1.0
+        assert cfg.beta == 2.0
+
+
+class TestAlgorithmOne:
+    def test_high_bandwidth_grows_p(self):
+        """Line 10: theta inversely proportional to B -> p grows with B."""
+        policy = make_policy()
+        p_before = policy.p
+        update(policy, B=0.9)
+        assert policy.p > p_before
+
+    def test_ping_pong_shrinks_p(self):
+        """Line 10: theta proportional to P -> p shrinks with P."""
+        policy = make_policy()
+        p_before = policy.p
+        update(policy, P=2.0)
+        assert policy.p < p_before
+
+    def test_p_bounded(self):
+        policy = make_policy(p_max=0.02)
+        for _ in range(50):
+            update(policy, B=1.0)
+        assert policy.p <= 0.02
+        policy = make_policy(p_min=0.005)
+        for _ in range(50):
+            update(policy, P=5.0)
+        assert policy.p >= 0.005
+
+    def test_quota_exceeded_halves_p(self):
+        """Line 13: exceeding m_quota halves p regardless of B."""
+        policy = make_policy(migration_quota_pages=100)
+        p_before = policy.p
+        decision = update(policy, B=1.0, M=200)
+        assert decision.quota_exceeded
+        assert policy.p == pytest.approx(p_before / 2)
+
+    def test_error_bound_clamps(self):
+        """Lines 14-15: theta below the error bound halves p."""
+        policy = make_policy()
+        hist = make_histogram()
+        huge_error = hist.quantile(1.0) + 1
+        decision = update(policy, hist=hist, E=huge_error)
+        assert decision.error_clamped
+
+    def test_threshold_is_quantile(self):
+        """Line 16: theta = QF(1 - p)."""
+        policy = make_policy()
+        hist = make_histogram()
+        decision = update(policy, hist=hist)
+        assert decision.threshold == pytest.approx(hist.quantile(1.0 - policy.p))
+
+    def test_alpha_beta_exponents(self):
+        cfg_strong = make_policy(p_min=1e-6, p_max=0.5, p_init=0.01)
+        cfg_strong.config.alpha = 2.0
+        cfg_weak = make_policy(p_min=1e-6, p_max=0.5, p_init=0.01)
+        cfg_weak.config.alpha = 0.5
+        update(cfg_strong, B=1.0)
+        update(cfg_weak, B=1.0)
+        assert cfg_strong.p > cfg_weak.p
+
+    def test_history_recorded(self):
+        policy = make_policy()
+        update(policy)
+        update(policy, B=0.5)
+        assert len(policy.history) == 2
+
+    def test_input_validation(self):
+        policy = make_policy()
+        with pytest.raises(ValueError):
+            update(policy, B=1.5)
+        with pytest.raises(ValueError):
+            update(policy, P=-1)
+
+
+class TestDynamicBehaviour:
+    def test_saturated_slow_tier_lowers_threshold(self):
+        """The Fig. 14 story: heavy CXL bandwidth -> lower theta -> more
+        promotion."""
+        hist = make_histogram()
+        idle = make_policy()
+        busy = make_policy()
+        for _ in range(5):
+            update(idle, hist=hist, B=0.0)
+            update(busy, hist=hist, B=0.95)
+        assert busy.threshold <= idle.threshold
+        assert busy.p > idle.p
+
+    def test_converges_under_constant_conditions(self):
+        policy = make_policy()
+        hist = make_histogram()
+        for _ in range(100):
+            update(policy, hist=hist, B=0.3)
+        # p pinned at a bound -> threshold stable
+        last = [d.threshold for d in policy.history[-5:]]
+        assert len(set(last)) == 1
+
+
+class TestFixedThreshold:
+    def test_threshold_never_moves(self):
+        policy = FixedThresholdPolicy(200)
+        hist = make_histogram()
+        for B in (0.0, 0.5, 1.0):
+            decision = policy.update(hist, B, 0.0, 0.0, 0)
+            assert decision.threshold == 200
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            FixedThresholdPolicy(-1)

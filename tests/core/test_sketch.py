@@ -1,0 +1,166 @@
+"""Tests for the Count-Min sketch with hot/valid bits."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.neoprof.sketch import CountMinSketch
+
+
+def small_sketch(width=1024, depth=2, **kwargs):
+    return CountMinSketch(width=width, depth=depth, **kwargs)
+
+
+class TestConstruction:
+    def test_table_iv_defaults(self):
+        s = CountMinSketch()
+        assert s.width == 512 * 1024
+        assert s.depth == 2
+        assert s.counter_max == 2**16 - 1
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(width=1000)
+        with pytest.raises(ValueError):
+            CountMinSketch(depth=0)
+        with pytest.raises(ValueError):
+            CountMinSketch(counter_bits=0)
+
+    def test_from_error_bounds(self):
+        s = CountMinSketch.from_error_bounds(epsilon=0.001, delta=0.25)
+        assert s.width >= 2000
+        assert s.width & (s.width - 1) == 0
+        assert s.depth == 2
+
+    def test_from_error_bounds_validation(self):
+        with pytest.raises(ValueError):
+            CountMinSketch.from_error_bounds(0, 0.5)
+        with pytest.raises(ValueError):
+            CountMinSketch.from_error_bounds(0.5, 2)
+
+    def test_sram_bits(self):
+        s = small_sketch(width=1024, depth=2, counter_bits=16)
+        assert s.sram_bits == 2 * 1024 * 18
+
+
+class TestEstimation:
+    def test_never_underestimates(self):
+        """The CM guarantee a(P) <= a_hat(P) must hold exactly."""
+        s = small_sketch()
+        rng = np.random.default_rng(0)
+        stream = rng.integers(0, 500, size=20_000, dtype=np.uint64)
+        s.update_batch(stream)
+        true_counts = np.bincount(stream.astype(np.int64), minlength=500)
+        pages = np.arange(500, dtype=np.uint64)
+        estimates = s.estimate_batch(pages)
+        assert (estimates >= true_counts).all()
+
+    def test_exact_when_no_collisions(self):
+        s = small_sketch(width=4096)
+        pages = np.repeat(np.arange(4, dtype=np.uint64), [5, 10, 15, 20])
+        s.update_batch(pages)
+        est = s.estimate_batch(np.arange(4, dtype=np.uint64))
+        # With 4 pages in a 4096-wide sketch collisions are overwhelmingly
+        # unlikely; estimates should be exact.
+        assert est.tolist() == [5, 10, 15, 20]
+
+    def test_unseen_page_estimate_zero_when_empty(self):
+        s = small_sketch()
+        assert s.estimate(1234) == 0
+
+    def test_empty_batch(self):
+        s = small_sketch()
+        s.update_batch(np.array([], dtype=np.uint64))
+        assert s.total_updates == 0
+        assert s.estimate_batch(np.array([], dtype=np.uint64)).size == 0
+
+    def test_counter_saturation(self):
+        s = small_sketch(counter_bits=4)  # max 15
+        s.update_batch(np.zeros(100, dtype=np.uint64))
+        assert s.estimate(0) == 15
+
+    def test_total_updates_tracked(self):
+        s = small_sketch()
+        s.update_batch(np.arange(10, dtype=np.uint64))
+        s.update_batch(np.arange(5, dtype=np.uint64))
+        assert s.total_updates == 15
+
+
+class TestValidBits:
+    def test_clear_resets_estimates(self):
+        s = small_sketch()
+        s.update_batch(np.arange(100, dtype=np.uint64))
+        s.clear()
+        assert s.estimate(5) == 0
+        assert s.total_updates == 0
+
+    def test_counts_accumulate_after_clear(self):
+        s = small_sketch()
+        s.update_batch(np.zeros(7, dtype=np.uint64))
+        s.clear()
+        s.update_batch(np.zeros(3, dtype=np.uint64))
+        assert s.estimate(0) == 3
+
+    def test_lane_counters_valid_aware(self):
+        s = small_sketch()
+        s.update_batch(np.arange(50, dtype=np.uint64))
+        assert s.lane_counters(0).sum() == 50
+        s.clear()
+        assert s.lane_counters(0).sum() == 0
+
+    def test_many_clears_stable(self):
+        s = small_sketch()
+        for round_idx in range(10):
+            s.update_batch(np.full(round_idx + 1, 7, dtype=np.uint64))
+            assert s.estimate(7) == round_idx + 1
+            s.clear()
+
+
+class TestHotBits:
+    def test_hot_bits_initially_unset(self):
+        s = small_sketch()
+        s.update_batch(np.arange(10, dtype=np.uint64))
+        assert not s.hot_bits_all_set(np.arange(10, dtype=np.uint64)).any()
+
+    def test_set_then_check(self):
+        s = small_sketch()
+        pages = np.array([3, 4], dtype=np.uint64)
+        s.update_batch(pages)
+        s.set_hot_bits(pages)
+        assert s.hot_bits_all_set(pages).all()
+
+    def test_clear_resets_hot_bits(self):
+        s = small_sketch()
+        pages = np.array([3], dtype=np.uint64)
+        s.update_batch(pages)
+        s.set_hot_bits(pages)
+        s.clear()
+        assert not s.hot_bits_all_set(pages).any()
+
+    def test_empty_inputs(self):
+        s = small_sketch()
+        assert s.hot_bits_all_set(np.array([], dtype=np.uint64)).size == 0
+        s.set_hot_bits(np.array([], dtype=np.uint64))  # no crash
+
+
+class TestProperties:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=2**32 - 1), min_size=1, max_size=200)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_estimate_lower_bounded_by_truth(self, values):
+        s = small_sketch(width=256)
+        stream = np.array(values, dtype=np.uint64)
+        s.update_batch(stream)
+        unique, counts = np.unique(stream, return_counts=True)
+        estimates = s.estimate_batch(unique)
+        assert (estimates >= counts).all()
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000), max_size=100))
+    @settings(max_examples=30, deadline=None)
+    def test_clear_always_zeroes(self, values):
+        s = small_sketch(width=128)
+        s.update_batch(np.array(values, dtype=np.uint64))
+        s.clear()
+        probe = np.arange(0, 1001, 97, dtype=np.uint64)
+        assert (s.estimate_batch(probe) == 0).all()

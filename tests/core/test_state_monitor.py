@@ -1,0 +1,60 @@
+"""Tests for the bandwidth/read-write state monitor."""
+
+import pytest
+
+from repro.core.neoprof.state_monitor import StateMonitor, StateSample
+
+
+class TestStateMonitor:
+    def test_idle_sample(self):
+        mon = StateMonitor()
+        s = mon.sample()
+        assert s.bandwidth_utilization == 0.0
+        assert s.read_fraction == 0.5
+
+    def test_bandwidth_utilization(self):
+        mon = StateMonitor(clock_hz=1e9, bytes_per_cycle=64)
+        # 1 ms window at 1 GHz = 1e6 cycles; 6.4 MB read = 1e5 cycles
+        mon.record(read_bytes=6_400_000, write_bytes=0, elapsed_ns=1_000_000)
+        assert mon.sample().bandwidth_utilization == pytest.approx(0.1)
+
+    def test_read_fraction(self):
+        mon = StateMonitor()
+        mon.record(read_bytes=64 * 300, write_bytes=64 * 100, elapsed_ns=1000)
+        assert mon.sample().read_fraction == pytest.approx(0.75)
+
+    def test_accumulates_over_epochs(self):
+        mon = StateMonitor(clock_hz=1e9)
+        mon.record(64_000, 0, 1000)
+        mon.record(0, 64_000, 1000)
+        s = mon.sample()
+        assert s.read_cycles == 1000
+        assert s.write_cycles == 1000
+        assert s.total_cycles == 2000
+
+    def test_reset(self):
+        mon = StateMonitor()
+        mon.record(10_000, 10_000, 5000)
+        mon.reset()
+        s = mon.sample()
+        assert (s.total_cycles, s.read_cycles, s.write_cycles) == (0, 0, 0)
+
+    def test_utilization_clamped(self):
+        sample = StateSample(total_cycles=10, read_cycles=100, write_cycles=100)
+        assert sample.bandwidth_utilization == 1.0
+
+    def test_negative_inputs_rejected(self):
+        mon = StateMonitor()
+        with pytest.raises(ValueError):
+            mon.record(-1, 0, 10)
+        with pytest.raises(ValueError):
+            mon.record(0, 0, -10)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            StateMonitor(clock_hz=0)
+        with pytest.raises(ValueError):
+            StateMonitor(bytes_per_cycle=0)
+
+    def test_zero_cycle_sample_safe(self):
+        assert StateSample(0, 0, 0).bandwidth_utilization == 0.0

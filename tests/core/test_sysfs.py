@@ -1,0 +1,60 @@
+"""Tests for the sysfs knob surface."""
+
+import pytest
+
+from repro.core.daemon import NeoMemDaemon
+from repro.core.sysfs import NeoMemSysfs, SysfsError
+
+
+@pytest.fixture
+def sysfs():
+    return NeoMemSysfs(NeoMemDaemon())
+
+
+class TestRead:
+    def test_list_contains_core_knobs(self, sysfs):
+        names = sysfs.list()
+        for knob in ("hot_threshold", "migration_interval_ms", "p_min", "alpha"):
+            assert knob in names
+
+    def test_read_values_are_text(self, sysfs):
+        assert isinstance(sysfs.read("hot_threshold"), str)
+        assert float(sysfs.read("migration_interval_ms")) == pytest.approx(10.0)
+
+    def test_read_statistics(self, sysfs):
+        assert sysfs.read("nr_hot_pending") == "0"
+        assert sysfs.read("nr_snooped") == "0"
+
+    def test_read_unknown_raises(self, sysfs):
+        with pytest.raises(SysfsError):
+            sysfs.read("does_not_exist")
+
+
+class TestWrite:
+    def test_write_threshold_propagates_to_device(self, sysfs):
+        sysfs.write("hot_threshold", "123")
+        assert sysfs.read("hot_threshold") == "123"
+        assert sysfs._daemon.device.detector.threshold == 123
+
+    def test_write_migration_interval(self, sysfs):
+        sysfs.write("migration_interval_ms", "25")
+        assert sysfs._daemon.config.migration_interval_s == pytest.approx(0.025)
+
+    def test_write_hyper_parameters(self, sysfs):
+        sysfs.write("alpha", "2.5")
+        sysfs.write("beta", "0.5")
+        tp = sysfs._daemon.config.threshold_policy
+        assert tp.alpha == 2.5
+        assert tp.beta == 0.5
+
+    def test_write_readonly_raises(self, sysfs):
+        with pytest.raises(SysfsError):
+            sysfs.write("nr_snooped", "5")
+
+    def test_write_unknown_raises(self, sysfs):
+        with pytest.raises(SysfsError):
+            sysfs.write("bogus", "1")
+
+    def test_negative_threshold_rejected(self, sysfs):
+        with pytest.raises(ValueError):
+            sysfs.write("hot_threshold", "-3")

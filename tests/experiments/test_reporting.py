@@ -1,0 +1,74 @@
+"""Tests for the report-formatting helpers."""
+
+import pytest
+
+from repro.experiments.reporting import (
+    format_series,
+    format_table,
+    normalize_to,
+    sparkline,
+)
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], ["xyz", 3.0]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "2.500" in out
+        assert "xyz" in out
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_custom_float_format(self):
+        out = format_table(["x"], [[1.23456]], float_fmt="{:.1f}")
+        assert "1.2" in out
+        assert "1.235" not in out
+
+    def test_wide_cells_expand_columns(self):
+        out = format_table(["h"], [["a-very-long-cell"]])
+        header, rule, row = out.splitlines()
+        assert len(rule) >= len("a-very-long-cell")
+
+
+class TestFormatSeries:
+    def test_pairs_rendered(self):
+        out = format_series("s", [1, 2], [3.0, 4.0], "t", "v")
+        assert out.startswith("s [t -> v]:")
+        assert "(1, 3)" in out
+        assert "(2, 4)" in out
+
+    def test_empty(self):
+        assert format_series("s", [], []).endswith(": ")
+
+
+class TestNormalizeTo:
+    def test_higher_is_better(self):
+        norm = normalize_to("base", {"base": 10.0, "fast": 5.0, "slow": 20.0})
+        assert norm["base"] == 1.0
+        assert norm["fast"] == 2.0
+        assert norm["slow"] == 0.5
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_to("a", {"a": 0.0})
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_monotone_ramp(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_flat_series_no_crash(self):
+        line = sparkline([5, 5, 5])
+        assert len(line) == 3
+
+    def test_downsampling(self):
+        line = sparkline(list(range(1000)), width=50)
+        assert len(line) == 50

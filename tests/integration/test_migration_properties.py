@@ -1,0 +1,94 @@
+"""Property-based tests: migration-engine invariants under random ops.
+
+Hypothesis drives arbitrary interleavings of promote/demote/quota
+operations and asserts conservation laws: pages are never created,
+destroyed or double-booked, and tier accounting always reconciles with
+the page table.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.memsim.lru2q import Lru2Q
+from repro.memsim.migration import MigrationConfig, MigrationEngine
+from repro.memsim.numa import NumaTopology
+from repro.memsim.page_table import PageTable
+from repro.memsim.tiers import CXL_DRAM_PROTO, DDR5_LOCAL
+
+NUM_PAGES = 300
+
+
+def build():
+    topo = NumaTopology([(DDR5_LOCAL, 120), (CXL_DRAM_PROTO, 400)])
+    pt = PageTable(NUM_PAGES)
+    lru = Lru2Q(NUM_PAGES)
+    eng = MigrationEngine(
+        topo, pt, lru, MigrationConfig(quota_bytes_per_s=10**9, fast_free_target=0.02)
+    )
+    topo.first_touch_allocate(pt, np.arange(NUM_PAGES))
+    return topo, pt, lru, eng
+
+
+operation = st.tuples(
+    st.sampled_from(["promote", "demote", "touch", "quota", "promote_huge"]),
+    st.lists(st.integers(min_value=0, max_value=NUM_PAGES - 1), max_size=30),
+)
+
+
+@given(st.lists(operation, max_size=40))
+@settings(max_examples=60, deadline=None)
+def test_conservation_under_random_operations(ops):
+    topo, pt, lru, eng = build()
+    epoch = 0
+    for name, pages in ops:
+        arr = np.array(pages, dtype=np.int64)
+        if name == "promote":
+            eng.promote(arr, epoch)
+        elif name == "demote":
+            eng.demote(arr)
+        elif name == "touch":
+            lru.touch(arr, epoch)
+        elif name == "quota":
+            eng.grant_quota(0.001)
+        elif name == "promote_huge":
+            eng.promote_huge(arr // 512, epoch)
+        epoch += 1
+
+        # conservation: every page mapped exactly once
+        nodes = pt.node_of_page
+        assert (nodes >= 0).all()
+        # tier books balance with the page table
+        occ = pt.occupancy()
+        for node in topo.nodes:
+            assert occ.get(node.node_id, 0) == node.tier.used_pages
+            assert 0 <= node.tier.used_pages <= node.tier.capacity_pages
+        # counters never go negative
+        assert eng.stats.promoted_pages >= 0
+        assert eng.stats.demoted_pages >= 0
+        assert eng.stats.stall_ns >= 0
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=NUM_PAGES - 1), min_size=1, max_size=50),
+    st.floats(min_value=1e-6, max_value=0.01),
+)
+@settings(max_examples=60, deadline=None)
+def test_quota_is_never_exceeded(pages, window_s):
+    topo, pt, lru, eng = build()
+    eng.grant_quota(window_s)
+    budget_pages = int(10**9 * min(window_s, MigrationEngine.QUOTA_BURST_S) / 4096)
+    moved = eng.promote(np.array(pages, dtype=np.int64), epoch=0)
+    assert moved <= budget_pages + 1
+
+
+@given(st.lists(st.integers(min_value=0, max_value=NUM_PAGES - 1), max_size=60))
+@settings(max_examples=60, deadline=None)
+def test_ping_pong_only_counts_demoted_pages(pages):
+    topo, pt, lru, eng = build()
+    eng.grant_quota(10.0)
+    arr = np.unique(np.array(pages, dtype=np.int64))
+    on_fast = arr[pt.nodes_of(arr) == 0]
+    eng.demote(on_fast)
+    eng.promote(on_fast, epoch=1)
+    # every counted ping-pong corresponds to a page we demoted first
+    assert eng.stats.ping_pong_events <= on_fast.size

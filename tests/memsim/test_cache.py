@@ -1,0 +1,149 @@
+"""Unit and property tests for the exact cache models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memsim.cache import Cache, CacheHierarchy
+
+
+class TestCacheBasics:
+    def test_miss_then_hit(self):
+        cache = Cache(1024, 2)
+        assert cache.access(0) is False
+        assert cache.access(0) is True
+
+    def test_different_lines_miss_independently(self):
+        cache = Cache(1024, 2)
+        cache.access(0)
+        assert cache.access(64) is False
+
+    def test_same_line_different_bytes_hit(self):
+        cache = Cache(1024, 2)
+        cache.access(0)
+        assert cache.access(63) is True
+
+    def test_lru_eviction_within_set(self):
+        # 2-way, 8 sets of 64 B lines: lines mapping to set 0 are
+        # multiples of 8 lines = 512 B.
+        cache = Cache(1024, 2)
+        a, b, c = 0, 512, 1024
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)  # a is MRU
+        cache.access(c)  # evicts b (LRU)
+        assert cache.contains(a)
+        assert not cache.contains(b)
+        assert cache.contains(c)
+
+    def test_eviction_counter(self):
+        cache = Cache(1024, 2)
+        for addr in (0, 512, 1024):
+            cache.access(addr)
+        assert cache.stats.evictions == 1
+
+    def test_flush_empties_cache(self):
+        cache = Cache(1024, 2)
+        cache.access(0)
+        cache.flush()
+        assert not cache.contains(0)
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            Cache(1024, 3)  # 16 lines not divisible by 3 ways
+        with pytest.raises(ValueError):
+            Cache(0, 1)
+
+    def test_miss_rate(self):
+        cache = Cache(1024, 2)
+        cache.access(0)
+        cache.access(0)
+        assert cache.stats.miss_rate == pytest.approx(0.5)
+
+    def test_insert_does_not_count_stats(self):
+        cache = Cache(1024, 2)
+        cache.insert(0)
+        assert cache.stats.accesses == 0
+        assert cache.contains(0)
+
+    def test_insert_refreshes_lru(self):
+        cache = Cache(1024, 2)
+        cache.access(0)
+        cache.access(512)
+        cache.insert(0)  # refresh 0 as MRU
+        cache.access(1024)  # evicts 512
+        assert cache.contains(0)
+        assert not cache.contains(512)
+
+
+class TestCacheProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=10_000), max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_hits_plus_misses_equals_accesses(self, addrs):
+        cache = Cache(2048, 4)
+        for addr in addrs:
+            cache.access(addr)
+        assert cache.stats.hits + cache.stats.misses == cache.stats.accesses
+
+    @given(st.lists(st.integers(min_value=0, max_value=100_000), max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, addrs):
+        cache = Cache(1024, 2)
+        for addr in addrs:
+            cache.access(addr)
+        valid = int(np.count_nonzero(cache._tags != -1))  # noqa: SLF001
+        assert valid <= 1024 // 64
+
+    @given(st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=50, deadline=None)
+    def test_immediate_rereference_always_hits(self, addr):
+        cache = Cache(4096, 4)
+        cache.access(addr)
+        assert cache.access(addr) is True
+
+    def test_working_set_within_capacity_all_hits_second_round(self):
+        cache = Cache(4096, 4)  # 64 lines
+        addrs = [i * 64 for i in range(64)]
+        for addr in addrs:
+            cache.access(addr)
+        assert all(cache.access(a) for a in addrs)
+
+
+class TestCacheHierarchy:
+    def test_default_geometry(self):
+        h = CacheHierarchy()
+        assert [c.name for c in h.levels] == ["l1d", "l2", "llc"]
+
+    def test_llc_miss_then_l1_hit(self):
+        h = CacheHierarchy()
+        assert h.access(0) is None  # cold: memory access
+        assert h.access(0) == 0  # now in L1
+
+    def test_l2_hit_promotes_to_l1(self):
+        l1 = Cache(128, 2, name="l1")
+        l2 = Cache(4096, 4, name="l2")
+        h = CacheHierarchy([l1, l2])
+        h.access(0)
+        # Evict 0 from tiny L1 by touching conflicting lines.
+        # 128 B, 2-way -> 1 set: two more lines evict 0 from L1 only.
+        h.access(64)
+        h.access(128)
+        assert not l1.contains(0)
+        assert l2.contains(0)
+        assert h.access(0) == 1  # L2 hit
+        assert l1.contains(0)  # refilled into L1
+
+    def test_is_llc_miss(self):
+        h = CacheHierarchy()
+        assert h.is_llc_miss(0) is True
+        assert h.is_llc_miss(0) is False
+
+    def test_flush(self):
+        h = CacheHierarchy()
+        h.access(0)
+        h.flush()
+        assert h.access(0) is None
+
+    def test_empty_hierarchy_rejected(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy([])

@@ -1,0 +1,132 @@
+"""Tests for the fast page-granularity LLC filter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memsim.cachefilter import PageCacheFilter, llc_pages
+
+
+class TestBasics:
+    def test_cold_pages_miss(self):
+        f = PageCacheFilter(16, 100)
+        misses = f.filter_batch(np.arange(10))
+        assert misses.all()
+
+    def test_hot_page_stops_missing(self):
+        f = PageCacheFilter(16, 100)
+        batch = np.zeros(256, dtype=np.int64)  # page 0 hammered
+        first = f.filter_batch(batch)
+        second = f.filter_batch(batch)
+        # First epoch: at most lines_per_page misses.  Second: none.
+        assert first.sum() <= 64
+        assert second.sum() == 0
+
+    def test_empty_batch(self):
+        f = PageCacheFilter(16, 100)
+        assert f.filter_batch(np.array([], dtype=np.int64)).size == 0
+
+    def test_out_of_range_page_rejected(self):
+        f = PageCacheFilter(16, 100)
+        with pytest.raises(ValueError):
+            f.filter_batch(np.array([100]))
+        with pytest.raises(ValueError):
+            f.filter_batch(np.array([-1]))
+
+    def test_flush_forgets_residency(self):
+        f = PageCacheFilter(16, 100)
+        batch = np.zeros(256, dtype=np.int64)
+        f.filter_batch(batch)
+        f.flush()
+        assert f.filter_batch(batch).sum() > 0
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            PageCacheFilter(0, 10)
+        with pytest.raises(ValueError):
+            PageCacheFilter(10, 0)
+
+    def test_llc_pages_helper(self):
+        assert llc_pages(60 * 1024 * 1024) == 15360
+        assert llc_pages(1) == 1
+
+
+class TestCapacityPressure:
+    def test_streaming_working_set_keeps_missing(self):
+        """A working set 100x the LLC must keep missing (streaming)."""
+        f = PageCacheFilter(capacity_pages=32, max_page_id=4096)
+        rng = np.random.default_rng(0)
+        miss_rates = []
+        for _ in range(10):
+            batch = rng.integers(0, 3200, size=4096)
+            misses = f.filter_batch(batch)
+            miss_rates.append(misses.mean())
+        # steady state: the vast majority of accesses miss
+        assert np.mean(miss_rates[3:]) > 0.7
+
+    def test_hot_set_within_capacity_mostly_hits(self):
+        """A hot set that fits in the LLC stops generating traffic."""
+        f = PageCacheFilter(capacity_pages=64, max_page_id=4096)
+        rng = np.random.default_rng(0)
+        hot = rng.integers(0, 32, size=8192)  # 32 hot pages, dense reuse
+        f.filter_batch(hot)
+        steady = f.filter_batch(rng.integers(0, 32, size=8192))
+        assert steady.mean() < 0.05
+
+    def test_residency_bounded_by_capacity(self):
+        f = PageCacheFilter(capacity_pages=16, max_page_id=10_000)
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            f.filter_batch(rng.integers(0, 10_000, size=8192))
+        assert f.resident_lines <= 16 * 64 * 1.0001
+
+    def test_eviction_prefers_idle_pages(self):
+        f = PageCacheFilter(capacity_pages=8, max_page_id=1000)
+        hot = np.repeat(np.arange(4), 64)
+        f.filter_batch(hot)
+        # Flood with one-shot pages to create pressure.
+        f.filter_batch(np.arange(100, 612))
+        f.filter_batch(hot)  # re-touch the hot pages
+        f.filter_batch(np.arange(612, 1000))
+        # Hot pages should retain more residency than one-shot ones.
+        hot_credit = np.mean([f.residency_of(p) for p in range(4)])
+        cold_credit = np.mean([f.residency_of(p) for p in range(100, 140)])
+        assert hot_credit >= cold_credit
+
+
+class TestProperties:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=499), min_size=1, max_size=500)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_miss_mask_shape_matches_batch(self, pages):
+        f = PageCacheFilter(16, 500)
+        batch = np.array(pages, dtype=np.int64)
+        mask = f.filter_batch(batch)
+        assert mask.shape == batch.shape
+        assert mask.dtype == bool
+
+    @given(st.lists(st.integers(min_value=0, max_value=99), min_size=1, max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_misses_never_exceed_accesses(self, pages):
+        f = PageCacheFilter(4, 100)
+        batch = np.array(pages, dtype=np.int64)
+        assert f.filter_batch(batch).sum() <= batch.size
+
+    @given(st.integers(min_value=1, max_value=64))
+    @settings(max_examples=20, deadline=None)
+    def test_repeat_epochs_monotone_nonincreasing_misses(self, reps):
+        """Re-running the identical small batch can't miss more over time."""
+        f = PageCacheFilter(64, 100)
+        batch = np.repeat(np.arange(8), reps)
+        prev = f.filter_batch(batch).sum()
+        for _ in range(3):
+            cur = f.filter_batch(batch).sum()
+            assert cur <= prev
+            prev = cur
+
+    def test_determinism(self):
+        rng = np.random.default_rng(7)
+        batch = rng.integers(0, 1000, size=2048)
+        f1, f2 = PageCacheFilter(32, 1000), PageCacheFilter(32, 1000)
+        assert np.array_equal(f1.filter_batch(batch), f2.filter_batch(batch))

@@ -1,0 +1,81 @@
+"""Tests for epoch metrics and simulation reports."""
+
+import pytest
+
+from repro.memsim.metrics import EpochMetrics, SimulationReport
+
+
+def make_epoch(i, duration_ns=1000.0, accesses=100, **kwargs):
+    return EpochMetrics(
+        epoch=i,
+        sim_time_ns=i * duration_ns,
+        duration_ns=duration_ns,
+        accesses=accesses,
+        **kwargs,
+    )
+
+
+class TestEpochMetrics:
+    def test_slow_traffic_sum(self):
+        e = make_epoch(0, slow_read_bytes=100, slow_write_bytes=50)
+        assert e.slow_traffic_bytes == 150
+
+    def test_throughput(self):
+        e = make_epoch(0, duration_ns=1e9, accesses=500)
+        assert e.throughput_aps == pytest.approx(500.0)
+
+    def test_throughput_zero_duration(self):
+        e = EpochMetrics(duration_ns=0.0, accesses=10)
+        assert e.throughput_aps == 0.0
+
+
+class TestSimulationReport:
+    def test_aggregation(self):
+        report = SimulationReport(workload="w", policy="p")
+        for i in range(3):
+            report.append(make_epoch(i, llc_misses=10, promoted_pages=2))
+        assert report.total_time_ns == pytest.approx(3000.0)
+        assert report.total_accesses == 300
+        assert report.total_llc_misses == 30
+        assert report.total_promoted_pages == 6
+
+    def test_fast_hit_ratio(self):
+        report = SimulationReport()
+        report.append(make_epoch(0, llc_misses=10, fast_hits=7, slow_hits=3))
+        assert report.fast_hit_ratio == pytest.approx(0.7)
+
+    def test_fast_hit_ratio_no_misses(self):
+        report = SimulationReport()
+        report.append(make_epoch(0))
+        assert report.fast_hit_ratio == 0.0
+
+    def test_throughput_whole_run(self):
+        report = SimulationReport()
+        report.append(make_epoch(0, duration_ns=5e8, accesses=100))
+        report.append(make_epoch(1, duration_ns=5e8, accesses=100))
+        assert report.throughput_aps == pytest.approx(200.0)
+
+    def test_series_and_time_axis(self):
+        report = SimulationReport()
+        for i in range(4):
+            report.append(make_epoch(i, promoted_pages=i))
+        assert report.series("promoted_pages") == [0, 1, 2, 3]
+        axis = report.time_axis_s()
+        assert axis == sorted(axis)
+
+    def test_summary_keys(self):
+        report = SimulationReport(workload="gups", policy="neomem")
+        report.append(make_epoch(0))
+        summary = report.summary()
+        for key in (
+            "workload", "policy", "runtime_s", "throughput_aps",
+            "slow_traffic_bytes", "promoted_pages", "fast_hit_ratio",
+        ):
+            assert key in summary
+        assert summary["workload"] == "gups"
+
+    def test_empty_report_is_safe(self):
+        report = SimulationReport()
+        assert report.total_time_s == 0.0
+        assert report.throughput_aps == 0.0
+        assert report.fast_hit_ratio == 0.0

@@ -1,0 +1,172 @@
+"""Tests for the migration engine: quota, ping-pong, capacity handling."""
+
+import numpy as np
+import pytest
+
+from repro.memsim.address import PAGE_SIZE, PAGES_PER_HUGE_PAGE
+from repro.memsim.lru2q import Lru2Q
+from repro.memsim.migration import MigrationConfig, MigrationEngine
+from repro.memsim.numa import NumaTopology
+from repro.memsim.page_table import PageTable
+from repro.memsim.tiers import CXL_DRAM_PROTO, DDR5_LOCAL
+
+
+def build(fast=100, slow=200, num_pages=250, quota_mbps=1e6):
+    topo = NumaTopology([(DDR5_LOCAL, fast), (CXL_DRAM_PROTO, slow)])
+    pt = PageTable(num_pages)
+    lru = Lru2Q(num_pages)
+    cfg = MigrationConfig(quota_bytes_per_s=quota_mbps * 1024 * 1024, fast_free_target=0.0)
+    eng = MigrationEngine(topo, pt, lru, cfg)
+    return topo, pt, lru, eng
+
+
+class TestPromotion:
+    def test_promote_moves_pages_to_fast(self):
+        topo, pt, lru, eng = build()
+        topo.first_touch_allocate(pt, np.arange(150))  # 100 fast, 50 slow
+        eng.grant_quota(1.0)
+        moved = eng.promote(np.array([120, 130]), epoch=0)
+        # fast is full -> cold pages demoted to make room
+        assert moved == 2
+        assert pt.nodes_of(np.array([120, 130])).tolist() == [0, 0]
+
+    def test_promote_ignores_fast_pages(self):
+        topo, pt, lru, eng = build()
+        topo.first_touch_allocate(pt, np.arange(50))
+        eng.grant_quota(1.0)
+        assert eng.promote(np.arange(50), epoch=0) == 0
+
+    def test_promote_empty(self):
+        _, _, _, eng = build()
+        eng.grant_quota(1.0)
+        assert eng.promote(np.array([], dtype=np.int64), epoch=0) == 0
+
+    def test_promotion_demotes_cold_pages_for_room(self):
+        topo, pt, lru, eng = build(fast=10, slow=100, num_pages=60)
+        topo.first_touch_allocate(pt, np.arange(60))
+        lru.touch(np.arange(10), epoch=0)  # fast pages tracked
+        eng.grant_quota(1.0)
+        moved = eng.promote(np.array([20, 21]), epoch=1)
+        assert moved == 2
+        stats = eng.drain_stats()
+        assert stats.demoted_pages >= 2
+        assert topo.fast_node.tier.used_pages <= 10
+
+    def test_capacity_accounting_consistent(self):
+        topo, pt, lru, eng = build(fast=10, slow=100, num_pages=60)
+        topo.first_touch_allocate(pt, np.arange(60))
+        lru.touch(np.arange(10), epoch=0)
+        eng.grant_quota(1.0)
+        eng.promote(np.arange(20, 40), epoch=1)
+        occ = pt.occupancy()
+        assert occ.get(0, 0) == topo[0].tier.used_pages
+        assert occ.get(1, 0) == topo[1].tier.used_pages
+
+
+class TestQuota:
+    def test_quota_limits_promotions(self):
+        topo, pt, lru, eng = build(fast=100, slow=200, num_pages=250, quota_mbps=1)
+        topo.first_touch_allocate(pt, np.arange(250))
+        # 1 MB/s * 0.01 s = 10 KB -> 2 pages
+        eng.grant_quota(0.01)
+        moved = eng.promote(np.arange(100, 150), epoch=0)
+        assert moved == 2
+        assert eng.stats.quota_dropped_pages == 48
+
+    def test_quota_window_refreshes(self):
+        topo, pt, lru, eng = build(quota_mbps=1)
+        topo.first_touch_allocate(pt, np.arange(250))
+        eng.grant_quota(0.01)
+        eng.promote(np.arange(100, 104), epoch=0)
+        eng.grant_quota(0.01)
+        assert eng.promote(np.arange(110, 112), epoch=1) == 2
+
+    def test_zero_quota_blocks_everything(self):
+        topo, pt, lru, eng = build()
+        topo.first_touch_allocate(pt, np.arange(250))
+        eng.grant_quota(0.0)
+        assert eng.promote(np.arange(100, 120), epoch=0) == 0
+
+
+class TestDemotion:
+    def test_demote_moves_to_slow(self):
+        topo, pt, lru, eng = build()
+        topo.first_touch_allocate(pt, np.arange(100))
+        eng.grant_quota(1.0)
+        assert eng.demote(np.array([5])) == 1
+        assert pt.nodes_of(np.array([5])).tolist() == [1]
+
+    def test_demote_sets_pg_demoted(self):
+        topo, pt, lru, eng = build()
+        topo.first_touch_allocate(pt, np.arange(100))
+        eng.grant_quota(1.0)
+        eng.demote(np.array([5]))
+        assert pt.demoted_mask(np.array([5])).tolist() == [True]
+
+    def test_demote_ignores_slow_pages(self):
+        topo, pt, lru, eng = build()
+        topo.first_touch_allocate(pt, np.arange(150))
+        eng.grant_quota(1.0)
+        assert eng.demote(np.array([120])) == 0
+
+
+class TestPingPong:
+    def test_ping_pong_counted(self):
+        topo, pt, lru, eng = build()
+        topo.first_touch_allocate(pt, np.arange(100))
+        eng.grant_quota(10.0)
+        eng.demote(np.array([5]))
+        eng.promote(np.array([5]), epoch=1)
+        assert eng.stats.ping_pong_events == 1
+        # flag cleared after promotion: second cycle counts again
+        eng.demote(np.array([5]))
+        eng.promote(np.array([5]), epoch=2)
+        assert eng.stats.ping_pong_events == 2
+
+    def test_fresh_promotion_not_ping_pong(self):
+        topo, pt, lru, eng = build()
+        topo.first_touch_allocate(pt, np.arange(150))
+        eng.grant_quota(10.0)
+        eng.promote(np.array([120]), epoch=0)
+        assert eng.stats.ping_pong_events == 0
+
+
+class TestHugePages:
+    def test_promote_huge_moves_all_base_pages(self):
+        num = PAGES_PER_HUGE_PAGE * 4
+        topo, pt, lru, eng = build(
+            fast=PAGES_PER_HUGE_PAGE * 2, slow=PAGES_PER_HUGE_PAGE * 4, num_pages=num
+        )
+        topo.first_touch_allocate(pt, np.arange(num))
+        eng.grant_quota(10.0)
+        # huge page 3 lives entirely on the slow node
+        moved = eng.promote_huge(np.array([3]), epoch=0)
+        assert moved == 1
+        span = np.arange(3 * PAGES_PER_HUGE_PAGE, 4 * PAGES_PER_HUGE_PAGE)
+        assert (pt.nodes_of(span) == 0).all()
+        assert eng.stats.promoted_huge_pages == 1
+        assert eng.stats.promoted_pages == PAGES_PER_HUGE_PAGE
+
+    def test_promote_huge_quota(self):
+        num = PAGES_PER_HUGE_PAGE * 4
+        topo, pt, lru, eng = build(
+            fast=PAGES_PER_HUGE_PAGE * 3,
+            slow=PAGES_PER_HUGE_PAGE * 4,
+            num_pages=num,
+            quota_mbps=1,
+        )
+        topo.first_touch_allocate(pt, np.arange(num))
+        eng.grant_quota(0.5)  # 0.5 MB budget < one 2 MB huge page
+        assert eng.promote_huge(np.array([3]), epoch=0) == 0
+
+
+class TestStatsDrain:
+    def test_drain_resets(self):
+        topo, pt, lru, eng = build()
+        topo.first_touch_allocate(pt, np.arange(150))
+        eng.grant_quota(1.0)
+        eng.promote(np.array([120]), epoch=0)
+        snap = eng.drain_stats()
+        assert snap.promoted_pages == 1
+        assert eng.stats.promoted_pages == 0
+        assert snap.stall_ns > 0

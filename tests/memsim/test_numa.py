@@ -1,0 +1,71 @@
+"""Tests for NUMA topology and first-touch allocation."""
+
+import numpy as np
+import pytest
+
+from repro.memsim.numa import NumaTopology
+from repro.memsim.page_table import PageTable
+from repro.memsim.tiers import CXL_DRAM_PROTO, DDR5_LOCAL
+
+
+def make_topology(fast=100, slow=200):
+    return NumaTopology([(DDR5_LOCAL, fast), (CXL_DRAM_PROTO, slow)])
+
+
+class TestTopology:
+    def test_node_ids_and_cpu_flags(self):
+        topo = make_topology()
+        assert topo[0].has_cpu is True
+        assert topo[1].has_cpu is False
+        assert topo.fast_node.node_id == 0
+        assert [n.node_id for n in topo.slow_nodes] == [1]
+
+    def test_total_capacity(self):
+        assert make_topology(10, 20).total_capacity_pages() == 30
+
+    def test_empty_topology_rejected(self):
+        with pytest.raises(ValueError):
+            NumaTopology([])
+
+    def test_node_name(self):
+        assert "ddr5-local" in make_topology()[0].name
+
+
+class TestFirstTouch:
+    def test_fills_fast_node_first(self):
+        topo = make_topology(fast=10, slow=10)
+        pt = PageTable(15)
+        topo.first_touch_allocate(pt, np.arange(15))
+        assert pt.occupancy() == {0: 10, 1: 5}
+
+    def test_spills_to_slow_when_fast_full(self):
+        topo = make_topology(fast=5, slow=100)
+        pt = PageTable(50)
+        topo.first_touch_allocate(pt, np.arange(50))
+        assert pt.occupancy() == {0: 5, 1: 45}
+
+    def test_already_mapped_pages_skipped(self):
+        topo = make_topology()
+        pt = PageTable(10)
+        assert topo.first_touch_allocate(pt, np.arange(5)) == 5
+        assert topo.first_touch_allocate(pt, np.arange(10)) == 5
+        assert topo.fast_node.tier.used_pages == 10
+
+    def test_duplicate_pages_in_request(self):
+        topo = make_topology()
+        pt = PageTable(10)
+        mapped = topo.first_touch_allocate(pt, np.array([1, 1, 2, 2]))
+        assert mapped == 2
+        assert topo.fast_node.tier.used_pages == 2
+
+    def test_out_of_memory_raises(self):
+        topo = make_topology(fast=2, slow=2)
+        pt = PageTable(10)
+        with pytest.raises(MemoryError):
+            topo.first_touch_allocate(pt, np.arange(10))
+
+    def test_end_epoch_propagates(self):
+        topo = make_topology()
+        topo[1].tier.record_traffic(10**9, 0, 0.001)
+        topo.end_epoch()
+        assert topo[1].tier.last_utilization > 0

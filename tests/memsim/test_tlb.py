@@ -1,0 +1,93 @@
+"""Tests for the TLB model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memsim.tlb import TLB
+
+
+class TestTlbBasics:
+    def test_first_access_misses(self):
+        tlb = TLB(entries=4)
+        assert tlb.access(1) is False
+
+    def test_second_access_hits(self):
+        tlb = TLB(entries=4)
+        tlb.access(1)
+        assert tlb.access(1) is True
+
+    def test_lru_eviction(self):
+        tlb = TLB(entries=2)
+        tlb.access(1)
+        tlb.access(2)
+        tlb.access(1)  # 1 MRU, 2 LRU
+        tlb.access(3)  # evicts 2
+        assert tlb.access(1) is True
+        assert tlb.access(2) is False
+
+    def test_shootdown_removes_translation(self):
+        tlb = TLB(entries=4)
+        tlb.access(5)
+        assert tlb.shootdown(5) is True
+        assert tlb.access(5) is False
+
+    def test_shootdown_absent_page(self):
+        tlb = TLB(entries=4)
+        assert tlb.shootdown(9) is False
+
+    def test_flush(self):
+        tlb = TLB(entries=4)
+        for p in range(4):
+            tlb.access(p)
+        tlb.flush()
+        assert tlb.resident_pages() == set()
+        assert tlb.access(0) is False
+
+    def test_miss_rate(self):
+        tlb = TLB(entries=4)
+        tlb.access(0)
+        tlb.access(0)
+        assert tlb.miss_rate == pytest.approx(0.5)
+
+    def test_batch_mask(self):
+        tlb = TLB(entries=8)
+        mask = tlb.access_batch(np.array([1, 1, 2, 1]))
+        assert mask.tolist() == [True, False, True, False]
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            TLB(entries=0)
+
+
+class TestTlbProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=50), max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_residency_bounded(self, pages):
+        tlb = TLB(entries=8)
+        for p in pages:
+            tlb.access(p)
+        assert len(tlb.resident_pages()) <= 8
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000), max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_hits_plus_misses(self, pages):
+        tlb = TLB(entries=16)
+        for p in pages:
+            tlb.access(p)
+        assert tlb.accesses == len(pages)
+        assert tlb.misses <= tlb.accesses
+
+    @given(st.integers(min_value=0, max_value=10**9))
+    @settings(max_examples=30, deadline=None)
+    def test_rereference_hits(self, page):
+        tlb = TLB(entries=4)
+        tlb.access(page)
+        assert tlb.access(page) is True
+
+    def test_working_set_fits_no_capacity_misses(self):
+        tlb = TLB(entries=64)
+        pages = list(range(64))
+        for p in pages:
+            tlb.access(p)
+        assert all(tlb.access(p) for p in pages)

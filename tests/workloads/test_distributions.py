@@ -1,0 +1,106 @@
+"""Tests for the distribution primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.distributions import (
+    bounded_zipf,
+    gaussian_working_set,
+    hot_set_mixture,
+    strided_sweep,
+)
+
+
+RNG = np.random.default_rng(0)
+
+
+class TestBoundedZipf:
+    def test_range(self):
+        out = bounded_zipf(np.random.default_rng(0), 100, 10_000)
+        assert out.min() >= 0
+        assert out.max() < 100
+
+    def test_skew(self):
+        out = bounded_zipf(np.random.default_rng(0), 1000, 100_000, exponent=0.99)
+        counts = np.bincount(out, minlength=1000)
+        # rank-0 item far more popular than the median item
+        assert counts[0] > 20 * np.median(counts[counts > 0])
+
+    def test_higher_exponent_more_skew(self):
+        mild = bounded_zipf(np.random.default_rng(0), 1000, 50_000, exponent=0.8)
+        steep = bounded_zipf(np.random.default_rng(0), 1000, 50_000, exponent=1.5)
+        top_mild = (mild < 10).mean()
+        top_steep = (steep < 10).mean()
+        assert top_steep > top_mild
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            bounded_zipf(rng, 0, 10)
+        with pytest.raises(ValueError):
+            bounded_zipf(rng, 10, 10, exponent=0)
+
+    def test_zero_size(self):
+        assert bounded_zipf(np.random.default_rng(0), 10, 0).size == 0
+
+
+class TestHotSetMixture:
+    def test_hot_fraction_respected(self):
+        hot = np.arange(10)
+        out = hot_set_mixture(np.random.default_rng(0), 1000, 100_000, hot, 0.9)
+        in_hot = (out < 10).mean()
+        assert 0.88 < in_hot < 0.93  # 0.9 + 10/1000 uniform spillover
+
+    def test_all_cold(self):
+        out = hot_set_mixture(np.random.default_rng(0), 100, 1000, np.arange(5), 0.0)
+        assert out.size == 1000
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            hot_set_mixture(rng, 100, 10, np.arange(5), 1.5)
+        with pytest.raises(ValueError):
+            hot_set_mixture(rng, 100, 10, np.zeros(0, dtype=np.int64), 0.5)
+
+
+class TestStridedSweep:
+    def test_covers_range(self):
+        out = strided_sweep(10, 5, 3)
+        assert sorted(set(out.tolist())) == [10, 11, 12, 13, 14]
+        assert out.size == 15
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            strided_sweep(0, 0, 1)
+        with pytest.raises(ValueError):
+            strided_sweep(0, 5, 0)
+
+
+class TestGaussianWorkingSet:
+    def test_clipped_to_range(self):
+        out = gaussian_working_set(np.random.default_rng(0), 100, 10_000, 50, 30)
+        assert out.min() >= 0
+        assert out.max() <= 99
+
+    def test_centered(self):
+        out = gaussian_working_set(np.random.default_rng(0), 1000, 50_000, 500, 50)
+        assert 480 < out.mean() < 520
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gaussian_working_set(np.random.default_rng(0), 100, 10, 50, 0)
+
+
+class TestProperties:
+    @given(
+        st.integers(min_value=1, max_value=500),
+        st.integers(min_value=0, max_value=2000),
+        st.floats(min_value=0.3, max_value=2.5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_zipf_always_in_range(self, items, size, exponent):
+        out = bounded_zipf(np.random.default_rng(1), items, size, exponent)
+        assert out.size == size
+        if size:
+            assert 0 <= out.min() and out.max() < items
