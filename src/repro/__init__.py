@@ -25,12 +25,20 @@ Quickstart::
 
 from repro.core import NeoMemConfig, NeoMemDaemon, NeoMemSysfs
 from repro.core.neoprof import CountMinSketch, NeoProfConfig, NeoProfDevice
-from repro.experiments import DEFAULT_CONFIG, ExperimentConfig, run_one
+from repro.experiments import DEFAULT_CONFIG, ExperimentConfig, run_colocation, run_one
 from repro.memsim import EngineConfig, SimulationEngine, SimulationReport
+from repro.multitenant import (
+    SCHEDULER_NAMES,
+    ColocationEngine,
+    ColocationReport,
+    QosConfig,
+    TenantSpec,
+    jain_fairness,
+)
 from repro.policies import POLICY_NAMES, make_policy
 from repro.workloads import BENCHMARKS, make_workload
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "NeoMemConfig",
@@ -41,10 +49,17 @@ __all__ = [
     "NeoProfDevice",
     "DEFAULT_CONFIG",
     "ExperimentConfig",
+    "run_colocation",
     "run_one",
     "EngineConfig",
     "SimulationEngine",
     "SimulationReport",
+    "SCHEDULER_NAMES",
+    "ColocationEngine",
+    "ColocationReport",
+    "QosConfig",
+    "TenantSpec",
+    "jain_fairness",
     "POLICY_NAMES",
     "make_policy",
     "BENCHMARKS",

@@ -88,6 +88,11 @@ class NeoMemDaemon:
             self.threshold_policy = FixedThresholdPolicy(fixed_threshold)
             self.name = f"neomem-fixed-{int(fixed_threshold)}"
         self.current_threshold = float(self.device.detector.threshold)
+        #: QoS arbitration hook (multi-tenant co-location): when set, the
+        #: daemon passes every hot-page report through this callable
+        #: before migrating, so an arbiter can veto promotions that would
+        #: exceed a tenant's fast-tier quota.
+        self.promotion_filter = None
         self._next_migration_ns = 0.0
         self._next_thr_update_ns = 0.0
         self._next_clear_ns = 0.0
@@ -119,6 +124,8 @@ class NeoMemDaemon:
         if now_ns >= self._next_migration_ns:
             self._next_migration_ns = now_ns + cfg.migration_interval_s * 1e9
             hot_pages = self.driver.read_hot_pages()
+            if self.promotion_filter is not None and hot_pages.size:
+                hot_pages = self.promotion_filter(hot_pages)
             if hot_pages.size:
                 if cfg.thp:
                     overhead_ns += self._promote_thp(view, hot_pages)
@@ -165,6 +172,19 @@ class NeoMemDaemon:
         huge_ids = np.asarray(hot_pages, dtype=np.int64) // PAGES_PER_HUGE_PAGE
         unique, counts = np.unique(huge_ids, return_counts=True)
         qualifying = unique[counts >= self.config.thp_hot_reports]
+        if qualifying.size and self.promotion_filter is not None:
+            # a huge page migrates whole, so QoS arbitration must approve
+            # its *entire* span, not just the hot reports inside it — an
+            # unaligned frame straddling a tenant boundary would otherwise
+            # smuggle a neighbour's pages past their fast-tier quota
+            spans = (
+                qualifying[:, None] * PAGES_PER_HUGE_PAGE
+                + np.arange(PAGES_PER_HUGE_PAGE)
+            ).ravel()
+            spans = spans[spans < self.engine.page_table.num_pages]
+            vetoed = np.setdiff1d(spans, self.promotion_filter(spans))
+            bad = np.unique(vetoed // PAGES_PER_HUGE_PAGE)
+            qualifying = qualifying[~np.isin(qualifying, bad)]
         overhead_ns = 0.0
         if qualifying.size:
             moved = view.migration.promote_huge(qualifying, view.epoch)

@@ -6,10 +6,19 @@ helper that renders the same rows/series the paper reports; the
 ``benchmarks/`` harnesses call both.
 """
 
+from repro.experiments.colocation import (
+    build_colocation,
+    format_colocation,
+    make_tenant_specs,
+    run_colocation,
+    run_colocation_sweep,
+)
 from repro.experiments.config import DEFAULT_CONFIG, SMOKE_CONFIG, ExperimentConfig
 from repro.experiments.runner import (
     build_engine,
+    build_policy,
     build_workload,
+    default_policy_kwargs,
     geomean,
     run_one,
     warm_first_touch,
@@ -20,9 +29,16 @@ __all__ = [
     "DEFAULT_CONFIG",
     "SMOKE_CONFIG",
     "ExperimentConfig",
+    "build_colocation",
     "build_engine",
+    "build_policy",
     "build_workload",
+    "default_policy_kwargs",
+    "format_colocation",
     "geomean",
+    "make_tenant_specs",
+    "run_colocation",
+    "run_colocation_sweep",
     "run_one",
     "warm_first_touch",
     "workload_pages",

@@ -1,0 +1,212 @@
+"""Co-location experiment: QoS under multi-tenant contention.
+
+The paper evaluates NeoMem one workload at a time; this harness opens
+the datacenter regime its DeathStarBench results gesture at — N tenants
+sharing one fast tier and one CXL channel.  For a tenant mix it runs
+
+1. one *solo* baseline per tenant (same machine, tenant alone), and
+2. one *co-located* run per scheduling discipline,
+
+then reports per-tenant slowdown vs. solo and Jain's fairness index —
+the two numbers an operator trades off when packing tenants.
+
+The machine is sized from the combined RSS with the same fast:slow
+ratio as the single-tenant experiments, so co-location stresses the
+same fast-tier scarcity the paper's Fig. 11/12 configurations do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
+from repro.experiments.runner import build_policy, topology_for
+from repro.multitenant import (
+    SCHEDULER_NAMES,
+    ColocationEngine,
+    ColocationReport,
+    QosConfig,
+    TenantSpec,
+)
+from repro.workloads import make_workload
+
+#: service-mix rotation for auto-generated tenant sets: a pointer-chasing
+#: cache, an analytics job, an OLTP store and the paper's microservice
+#: benchmark — the canonical "latency-sensitive next to batch" mix
+DEFAULT_MIX = ("gups", "pagerank", "silo", "deathstarbench")
+
+#: sweep defaults (ISSUE: 2-8 tenants)
+TENANT_COUNTS = (2, 4, 8)
+
+
+def make_tenant_specs(
+    num_tenants: int,
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    mix=DEFAULT_MIX,
+    weights=None,
+    priorities=None,
+    fast_quota_fractions=None,
+) -> list[TenantSpec]:
+    """A tenant mix cycling through ``mix``, splitting the machine RSS.
+
+    The combined RSS stays at ``config.num_pages`` regardless of tenant
+    count, so the machine (and its fast tier) is a fixed resource that
+    N tenants carve up — contention grows with N, not the machine.
+    """
+    if num_tenants < 1:
+        raise ValueError("need at least one tenant")
+    per_tenant_pages = max(1024, config.num_pages // num_tenants)
+    specs = []
+    for i in range(num_tenants):
+        specs.append(
+            TenantSpec(
+                name=f"t{i}-{mix[i % len(mix)]}",
+                workload=mix[i % len(mix)],
+                num_pages=per_tenant_pages,
+                weight=weights[i] if weights else 1.0,
+                priority=priorities[i] if priorities else 0,
+                fast_quota_fraction=(
+                    fast_quota_fractions[i] if fast_quota_fractions else None
+                ),
+            )
+        )
+    return specs
+
+
+def build_colocation(
+    specs: list[TenantSpec],
+    policy_name: str = "neomem",
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    scheduler: str = "round-robin",
+    qos: QosConfig | None = None,
+    engine_overrides: dict | None = None,
+) -> ColocationEngine:
+    """Assemble a co-location engine for a tenant mix.
+
+    Policies are sized from the *combined* address space: whichever
+    scope the QoS config selects, every instance indexes shared page
+    ids, so its profiling arrays must span all tenants.
+    """
+    tenants = []
+    for spec in specs:
+        workload = make_workload(
+            spec.workload,
+            num_pages=spec.num_pages,
+            total_batches=config.batches,
+            batch_size=config.batch_size,
+            **spec.workload_overrides,
+        )
+        tenants.append((spec, workload))
+    total_pages = sum(spec.num_pages for spec in specs)
+    return ColocationEngine(
+        tenants,
+        topology_for(total_pages, config),
+        policy_factory=lambda: build_policy(policy_name, total_pages, config),
+        config=config.engine_config(**(engine_overrides or {})),
+        scheduler=scheduler,
+        qos=qos,
+    )
+
+
+def run_colocation(
+    specs: list[TenantSpec],
+    policy_name: str = "neomem",
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    scheduler: str = "round-robin",
+    qos: QosConfig | None = None,
+    solo_baselines: bool = True,
+) -> ColocationReport:
+    """One co-located run, plus per-tenant solo baselines for slowdown.
+
+    Solo baselines run each tenant alone on the *same machine* (topology
+    sized for the full mix), so the slowdown ratio isolates contention:
+    the solo tenant enjoys the whole fast tier and an idle CXL channel.
+    """
+    engine = build_colocation(specs, policy_name, config, scheduler, qos)
+    engine.prefill()
+    report = engine.run()
+    report.verify_conservation()
+    if solo_baselines:
+        topology_pages = sum(spec.num_pages for spec in specs)
+        for spec in specs:
+            # the baseline is the tenant alone and *unconstrained*: QoS
+            # knobs (quota, cold start) are part of what slowdown measures
+            solo_spec = replace(spec, fast_quota_fraction=None, cold_start=False)
+            workload = make_workload(
+                spec.workload,
+                num_pages=spec.num_pages,
+                total_batches=config.batches,
+                batch_size=config.batch_size,
+                **spec.workload_overrides,
+            )
+            solo_engine = ColocationEngine(
+                [(solo_spec, workload)],
+                topology_for(topology_pages, config),
+                policy_factory=lambda pages=spec.num_pages: build_policy(
+                    policy_name, pages, config
+                ),
+                config=config.engine_config(),
+            )
+            solo_engine.prefill()
+            solo_report = solo_engine.run()
+            report.tenants[spec.name].solo_time_s = solo_report.machine.total_time_s
+    return report
+
+
+def run_colocation_sweep(
+    tenant_counts=TENANT_COUNTS,
+    schedulers=SCHEDULER_NAMES,
+    policy_name: str = "neomem",
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    qos: QosConfig | None = None,
+    mix=DEFAULT_MIX,
+) -> list[dict]:
+    """Sweep tenant count x scheduler; one summary row per run.
+
+    Rows carry fairness, mean/worst slowdown and the per-tenant
+    slowdowns, which is what the acceptance experiment reports.
+    """
+    rows: list[dict] = []
+    for num_tenants in tenant_counts:
+        specs = make_tenant_specs(num_tenants, config, mix=mix)
+        # weighted/priority disciplines need non-uniform tenants to
+        # exercise; give even tenants double weight and +1 priority
+        shaped = [
+            TenantSpec(
+                name=spec.name,
+                workload=spec.workload,
+                num_pages=spec.num_pages,
+                weight=2.0 if i % 2 == 0 else 1.0,
+                priority=1 if i % 2 == 0 else 0,
+            )
+            for i, spec in enumerate(specs)
+        ]
+        for scheduler in schedulers:
+            report = run_colocation(
+                shaped if scheduler != "round-robin" else specs,
+                policy_name,
+                config,
+                scheduler,
+                qos,
+            )
+            row = report.summary()
+            row["slowdowns"] = report.slowdowns
+            rows.append(row)
+    return rows
+
+
+def format_colocation(rows: list[dict]) -> str:
+    """Render sweep rows as the table the harness prints."""
+    header = (
+        f"{'tenants':>7}  {'scheduler':<14}  {'policy':<20}  "
+        f"{'fairness':>8}  {'mean sld':>8}  {'worst sld':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['tenants']:>7d}  {row['scheduler']:<14}  {row['policy']:<20}  "
+            f"{row.get('fairness', float('nan')):>8.3f}  "
+            f"{row.get('mean_slowdown', float('nan')):>8.2f}  "
+            f"{row.get('worst_slowdown', float('nan')):>9.2f}"
+        )
+    return "\n".join(lines)

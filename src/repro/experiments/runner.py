@@ -69,6 +69,80 @@ def _apply_overhead_scale(policy, scale: float) -> None:
                 setattr(profiler, attr, getattr(profiler, attr) * scale)
 
 
+def default_policy_kwargs(
+    policy_name: str,
+    num_pages: int,
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    policy_kwargs: dict | None = None,
+) -> dict:
+    """Scaled-run construction defaults for a policy, by figure label.
+
+    Shared by :func:`build_engine` and the multi-tenant harness
+    (:mod:`repro.experiments.colocation`), which sizes policies from the
+    *combined* tenant RSS.  Explicit ``policy_kwargs`` win over defaults.
+    """
+    kwargs = dict(policy_kwargs or {})
+    if policy_name.startswith("neomem"):
+        kwargs.setdefault("neomem_config", config.neomem_config())
+        kwargs.setdefault("neoprof_config", config.neoprof_config())
+    if policy_name in ("autonuma", "tpp"):
+        # kernel NUMA-balancing scans cover roughly the RSS every
+        # few scan periods; a RSS/16 window every couple of epochs
+        # reproduces that coverage rate at the scaled run length
+        kwargs.setdefault("scan_interval_s", config.hint_fault_scan_interval_s)
+        kwargs.setdefault("scan_window_pages", max(64, num_pages // 16))
+    if policy_name == "tpp":
+        # "two consecutive faults" means two faults within a couple
+        # of scan periods; a scan period spans ~15 epochs here
+        kwargs.setdefault("refault_epoch_gap", 32)
+    if policy_name == "pte-scan":
+        kwargs.setdefault("scan_interval_s", config.pte_scan_interval_s)
+    if policy_name == "pebs":
+        # the paper tunes 200-5000 misses/sample on the real machine;
+        # event counts are compressed ~1000x in the scaled runs, so
+        # the equivalent operating point samples more densely
+        kwargs.setdefault("sample_interval", 150)
+        kwargs.setdefault("min_samples", 1.0)
+        kwargs.setdefault("decay_interval_s", config.pebs_decay_interval_s)
+    if policy_name == "memtis":
+        kwargs.setdefault("sample_interval", 150)
+        kwargs.setdefault("min_samples", 1.0)
+        kwargs.setdefault("cooling_interval_s", config.pebs_decay_interval_s)
+        # Memtis's kptierd classifies and migrates on a second-scale
+        # cadence, coarser than the NUMA-balancing path
+        kwargs.setdefault("migration_interval_s", 4 * config.migration_interval_s)
+    if not policy_name.startswith("neomem") and policy_name != "first-touch":
+        kwargs.setdefault("migration_interval_s", config.migration_interval_s)
+    return kwargs
+
+
+def build_policy(
+    policy_name: str,
+    num_pages: int,
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    policy_kwargs: dict | None = None,
+):
+    """Construct a policy with the scaled-run defaults applied."""
+    kwargs = default_policy_kwargs(policy_name, num_pages, config, policy_kwargs)
+    policy = make_policy(policy_name, num_pages, **kwargs)
+    _apply_overhead_scale(policy, config.overhead_scale)
+    return policy
+
+
+def topology_for(num_pages: int, config: ExperimentConfig = DEFAULT_CONFIG):
+    """Fast+slow topology spec for an RSS, honouring the fast:slow ratio.
+
+    The single sizing rule for both single-tenant engines (sized from
+    one workload's RSS) and co-located machines (sized from the
+    combined tenant RSS), so slowdown comparisons always run on
+    identically proportioned machines.
+    """
+    f, s = config.ratio
+    fast_pages = max(1, int(num_pages * f / (f + s)))
+    slow_pages = int(num_pages * s / (f + s) + num_pages * config.slow_slack)
+    return [(config.fast_spec, fast_pages), (config.slow_spec, slow_pages)]
+
+
 def build_engine(
     workload,
     policy_name: str,
@@ -82,46 +156,10 @@ def build_engine(
     The topology is sized from the *workload's* RSS so the fast:slow
     ratio holds for every benchmark despite their different footprints.
     """
-    kwargs = dict(policy_kwargs or {})
-    f, s = config.ratio
-    fast_pages = max(1, int(workload.num_pages * f / (f + s)))
-    slow_pages = int(workload.num_pages * s / (f + s) + workload.num_pages * config.slow_slack)
-    topology = [(config.fast_spec, fast_pages), (config.slow_spec, slow_pages)]
+    topology = topology_for(workload.num_pages, config)
 
     if policy is None:
-        if policy_name.startswith("neomem"):
-            kwargs.setdefault("neomem_config", config.neomem_config())
-            kwargs.setdefault("neoprof_config", config.neoprof_config())
-        if policy_name in ("autonuma", "tpp"):
-            # kernel NUMA-balancing scans cover roughly the RSS every
-            # few scan periods; a RSS/16 window every couple of epochs
-            # reproduces that coverage rate at the scaled run length
-            kwargs.setdefault("scan_interval_s", config.hint_fault_scan_interval_s)
-            kwargs.setdefault("scan_window_pages", max(64, workload.num_pages // 16))
-        if policy_name == "tpp":
-            # "two consecutive faults" means two faults within a couple
-            # of scan periods; a scan period spans ~15 epochs here
-            kwargs.setdefault("refault_epoch_gap", 32)
-        if policy_name == "pte-scan":
-            kwargs.setdefault("scan_interval_s", config.pte_scan_interval_s)
-        if policy_name == "pebs":
-            # the paper tunes 200-5000 misses/sample on the real machine;
-            # event counts are compressed ~1000x in the scaled runs, so
-            # the equivalent operating point samples more densely
-            kwargs.setdefault("sample_interval", 150)
-            kwargs.setdefault("min_samples", 1.0)
-            kwargs.setdefault("decay_interval_s", config.pebs_decay_interval_s)
-        if policy_name == "memtis":
-            kwargs.setdefault("sample_interval", 150)
-            kwargs.setdefault("min_samples", 1.0)
-            kwargs.setdefault("cooling_interval_s", config.pebs_decay_interval_s)
-            # Memtis's kptierd classifies and migrates on a second-scale
-            # cadence, coarser than the NUMA-balancing path
-            kwargs.setdefault("migration_interval_s", 4 * config.migration_interval_s)
-        if not policy_name.startswith("neomem") and policy_name != "first-touch":
-            kwargs.setdefault("migration_interval_s", config.migration_interval_s)
-        policy = make_policy(policy_name, workload.num_pages, **kwargs)
-        _apply_overhead_scale(policy, config.overhead_scale)
+        policy = build_policy(policy_name, workload.num_pages, config, policy_kwargs)
 
     engine = SimulationEngine(
         workload,
@@ -159,8 +197,17 @@ def run_one(
     policy_kwargs: dict | None = None,
     engine_overrides: dict | None = None,
     prefill: bool = True,
+    keep_engine: bool = False,
 ) -> SimulationReport:
-    """Run one (workload, policy) experiment and return its report."""
+    """Run one (workload, policy) experiment and return its report.
+
+    Args:
+        keep_engine: When True, stash the finished engine (and its
+            policy) in ``report.annotations`` for post-mortem inspection.
+            Off by default: the engine pins every numpy array of the
+            machine model, which adds up fast across parameter sweeps
+            that only need the report's counters.
+    """
     workload = build_workload(workload_name, config, **(workload_overrides or {}))
     engine = build_engine(
         workload,
@@ -172,8 +219,9 @@ def run_one(
     if prefill:
         warm_first_touch(engine)
     report = engine.run()
-    report.annotations["policy_object"] = engine.policy
-    report.annotations["engine"] = engine
+    if keep_engine:
+        report.annotations["policy_object"] = engine.policy
+        report.annotations["engine"] = engine
     return report
 
 

@@ -277,20 +277,28 @@ class MigrationEngine:
         self.stats.stall_ns += moved * self.config.page_copy_ns
         return moved
 
+    def coldest_victims(self, count: int, member_mask: np.ndarray) -> np.ndarray:
+        """Reclaim candidates within ``member_mask``, coldest first.
+
+        LRU-2Q coldest pages, padded with untracked members: pages never
+        touched since placement are not on the 2Q lists yet; in the
+        kernel they sit on the inactive list from allocation, so they
+        are legitimate (indeed prime) victims.  Shared by promotion
+        headroom reclaim and the multi-tenant quota arbiter.
+        """
+        candidates = self.lru.coldest(count, member_mask)
+        if candidates.size < count:
+            untracked = np.nonzero(member_mask)[0]
+            if candidates.size:
+                untracked = np.setdiff1d(untracked, candidates, assume_unique=False)
+            candidates = np.concatenate([candidates, untracked[: count - candidates.size]])
+        return candidates
+
     def _make_room(self, num_pages: int, epoch: int) -> int:
         """Demote the coldest fast-node pages to free ``num_pages``."""
         del epoch  # list stamps order candidates; epoch kept for symmetry
         member_mask = self.page_table.node_of_page == 0
-        candidates = self.lru.coldest(num_pages, member_mask)
-        if candidates.size < num_pages:
-            # Pages never touched since placement are not on the 2Q lists
-            # yet; in the kernel they sit on the inactive list from
-            # allocation, so they are legitimate (indeed prime) victims.
-            untracked = np.nonzero(member_mask)[0]
-            if candidates.size:
-                untracked = np.setdiff1d(untracked, candidates, assume_unique=False)
-            extra = untracked[: num_pages - candidates.size]
-            candidates = np.concatenate([candidates, extra])
+        candidates = self.coldest_victims(num_pages, member_mask)
         if candidates.size == 0:
             return 0
         return self.demote(candidates, charge_quota=False)

@@ -1,0 +1,60 @@
+"""Multi-tenant co-location: N workloads sharing one tiered machine.
+
+The layer the paper's datacenter regime (DeathStarBench, contended CXL
+bandwidth, shifting hot sets) actually runs in: several tenants share
+one fast tier and one CXL channel, a scheduler interleaves their
+batches, and a QoS arbiter decides how the tiering policy's attention
+and the fast tier's capacity are divided.
+
+Building blocks:
+
+* :class:`TenantSpec` / :class:`TenantNamespace` /
+  :class:`AddressSpaceLayout` — who the tenants are and which disjoint
+  windows of the shared page-id space they own;
+* :mod:`~repro.multitenant.scheduler` — round-robin, weighted-share and
+  strict-priority epoch interleaving;
+* :class:`TenantPolicyArbiter` / :class:`QosConfig` — shared vs.
+  per-tenant tiering policies plus cgroup-like fast-tier quotas;
+* :class:`ColocationEngine` — drives the shared
+  :class:`~repro.memsim.engine.SimulationEngine` one tenant batch per
+  epoch and splits the metrics per tenant;
+* :class:`ColocationReport` — per-tenant slowdown-vs-solo accounting
+  and Jain's fairness index.
+
+See :mod:`repro.experiments.colocation` for the sweep harness and
+``examples/colocation_qos.py`` for a guided demo.
+"""
+
+from repro.multitenant.arbitration import POLICY_SCOPES, QosConfig, TenantPolicyArbiter
+from repro.multitenant.engine import ColocationEngine, TenantRuntime
+from repro.multitenant.metrics import ColocationReport, TenantReport, jain_fairness
+from repro.multitenant.namespace import AddressSpaceLayout, TenantNamespace
+from repro.multitenant.scheduler import (
+    SCHEDULER_NAMES,
+    PriorityScheduler,
+    RoundRobinScheduler,
+    TenantScheduler,
+    WeightedShareScheduler,
+    make_scheduler,
+)
+from repro.multitenant.spec import TenantSpec
+
+__all__ = [
+    "POLICY_SCOPES",
+    "QosConfig",
+    "TenantPolicyArbiter",
+    "ColocationEngine",
+    "TenantRuntime",
+    "ColocationReport",
+    "TenantReport",
+    "jain_fairness",
+    "AddressSpaceLayout",
+    "TenantNamespace",
+    "SCHEDULER_NAMES",
+    "TenantScheduler",
+    "RoundRobinScheduler",
+    "WeightedShareScheduler",
+    "PriorityScheduler",
+    "make_scheduler",
+    "TenantSpec",
+]

@@ -1,0 +1,119 @@
+"""Epoch-granularity tenant schedulers.
+
+The co-location engine advances the machine one tenant batch at a time;
+the scheduler decides *whose* batch runs next, which is exactly the
+lever a datacenter operator has over a shared tiered machine.  Three
+disciplines are provided:
+
+* **round-robin** — equal epoch shares, the fairness baseline;
+* **weighted-share** — stride scheduling over ``TenantSpec.weight``:
+  a weight-2 tenant is picked twice as often as a weight-1 tenant;
+* **priority** — strict priority levels (higher ``TenantSpec.priority``
+  first), round-robin within a level; lower levels only run once every
+  higher-priority tenant has finished its trace.
+
+Schedulers see only *runnable* tenants (those with batches left), so
+every discipline eventually drains every tenant.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+from repro.multitenant.spec import TenantSpec
+
+
+class Schedulable(Protocol):
+    """What schedulers need from the engine's per-tenant runtime."""
+
+    spec: TenantSpec
+
+
+class TenantScheduler:
+    """Base: least-recently-scheduled pick among the runnable tenants."""
+
+    name = "base"
+
+    def __init__(self, specs: Sequence[TenantSpec]) -> None:
+        if not specs:
+            raise ValueError("scheduler needs at least one tenant")
+        self._order = {spec.name: i for i, spec in enumerate(specs)}
+        #: monotone pick counter; last pick sequence number per tenant
+        self._clock = 0
+        self._last_pick = {spec.name: -1 for spec in specs}
+
+    # ------------------------------------------------------------------
+    def pick(self, runnable: Sequence[Schedulable]) -> Schedulable:
+        """Choose the tenant whose batch runs this epoch."""
+        if not runnable:
+            raise ValueError("no runnable tenants")
+        choice = min(runnable, key=self._key)
+        self._clock += 1
+        self._last_pick[choice.spec.name] = self._clock
+        self._account(choice)
+        return choice
+
+    def _key(self, tenant: Schedulable):
+        """Sort key; smaller wins.  Ties fall back to spec order."""
+        name = tenant.spec.name
+        return (self._last_pick[name], self._order[name])
+
+    def _account(self, tenant: Schedulable) -> None:
+        """Post-pick bookkeeping hook for subclasses."""
+
+
+class RoundRobinScheduler(TenantScheduler):
+    """Equal time slices: cycle through the runnable tenants."""
+
+    name = "round-robin"
+
+
+class WeightedShareScheduler(TenantScheduler):
+    """Stride scheduling: epoch shares proportional to tenant weight."""
+
+    name = "weighted-share"
+
+    def __init__(self, specs: Sequence[TenantSpec]) -> None:
+        super().__init__(specs)
+        self._stride = {spec.name: 1.0 / spec.weight for spec in specs}
+        # starting pass = stride, the classic stride-scheduling init
+        self._pass = dict(self._stride)
+
+    def _key(self, tenant: Schedulable):
+        name = tenant.spec.name
+        return (self._pass[name], self._order[name])
+
+    def _account(self, tenant: Schedulable) -> None:
+        name = tenant.spec.name
+        self._pass[name] += self._stride[name]
+
+
+class PriorityScheduler(TenantScheduler):
+    """Strict priority, round-robin within each priority level."""
+
+    name = "priority"
+
+    def _key(self, tenant: Schedulable):
+        name = tenant.spec.name
+        return (-tenant.spec.priority, self._last_pick[name], self._order[name])
+
+
+#: registry, mirroring POLICY_NAMES / BENCHMARKS
+SCHEDULER_NAMES = ("round-robin", "weighted-share", "priority")
+
+_FACTORIES = {
+    "round-robin": RoundRobinScheduler,
+    "weighted-share": WeightedShareScheduler,
+    "priority": PriorityScheduler,
+}
+
+
+def make_scheduler(name: str, specs: Sequence[TenantSpec]) -> TenantScheduler:
+    """Instantiate a scheduler by name for a tenant mix."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown scheduler {name!r}; expected one of {SCHEDULER_NAMES}"
+        ) from exc
+    return factory(specs)

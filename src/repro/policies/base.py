@@ -41,6 +41,10 @@ class BaseTieringPolicy:
         self.demotion_target = float(demotion_target)
         self.syscall_ns_per_page = float(syscall_ns_per_page)
         self.current_threshold = 0.0
+        #: QoS arbitration hook (multi-tenant co-location): when set,
+        #: promotion candidates pass through this callable first, so an
+        #: arbiter can drop pages whose tenant is over its fast-tier quota.
+        self.promotion_filter = None
         self._next_migration_ns = 0.0
 
     # ------------------------------------------------------------------
@@ -53,6 +57,8 @@ class BaseTieringPolicy:
         if now_ns >= self._next_migration_ns:
             self._next_migration_ns = now_ns + self.migration_interval_s * 1e9
             candidates = self._select_promotions(view)
+            if self.promotion_filter is not None and candidates.size:
+                candidates = self.promotion_filter(candidates)
             if candidates.size:
                 overhead += self._promote(view, candidates)
         overhead += self._watermark_demotion(view)

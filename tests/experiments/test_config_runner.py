@@ -79,11 +79,19 @@ class TestRunner:
         # capacity; a permutation spreads them across the space
         assert fast_pages.max() > wl.num_pages // 2
 
-    def test_run_one_returns_annotated_report(self):
+    def test_run_one_drops_engine_by_default(self):
+        """Sweeps must not pin whole machine models in their reports."""
         report = run_one("gups", "first-touch", SMOKE_CONFIG)
         assert report.workload == "gups"
         assert report.policy == "first-touch"
-        assert "engine" in report.annotations
+        assert "engine" not in report.annotations
+        assert "policy_object" not in report.annotations
+
+    def test_run_one_keep_engine_opts_in(self):
+        report = run_one("gups", "first-touch", SMOKE_CONFIG, keep_engine=True)
+        engine = report.annotations["engine"]
+        assert engine.report is report
+        assert report.annotations["policy_object"] is engine.policy
 
     @pytest.mark.parametrize("policy", ["neomem", "pebs", "tpp", "memtis"])
     def test_run_one_each_policy_smoke(self, policy):

@@ -44,7 +44,7 @@ def check_invariants(report):
 @pytest.mark.parametrize("workload", WORKLOADS)
 @pytest.mark.parametrize("policy", POLICY_NAMES)
 def test_invariants_hold_for_every_pair(workload, policy):
-    report = run_one(workload, policy, SMOKE_CONFIG)
+    report = run_one(workload, policy, SMOKE_CONFIG, keep_engine=True)
     check_invariants(report)
 
 
@@ -57,7 +57,7 @@ def test_migration_counts_match_engine_totals():
 
 def test_neomem_and_fixed_threshold_share_machinery():
     dynamic = run_one("gups", "neomem", SMOKE_CONFIG)
-    fixed = run_one("gups", "neomem-fixed-32", SMOKE_CONFIG)
+    fixed = run_one("gups", "neomem-fixed-32", SMOKE_CONFIG, keep_engine=True)
     check_invariants(fixed)
     assert fixed.policy == "neomem-fixed-32"
     assert dynamic.policy == "neomem"

@@ -215,3 +215,44 @@ class TestEpochView:
         engine.run()
         assert captured["pages"].size > 0
         assert captured["pages"].shape == captured["is_write"].shape
+
+    def test_slow_miss_stream_is_exactly_the_cxl_routed_misses(self):
+        """The stream equals the miss batch restricted to slow nodes,
+        in order and with aligned write flags."""
+        engine = build_engine(fast=100, slow=4000, num_pages=3000)
+        seen = []
+
+        class Spy(NullPolicy):
+            def on_epoch(self, view):
+                pages, is_write = view.slow_miss_stream()
+                on_slow = view.miss_nodes > 0
+                np.testing.assert_array_equal(pages, view.miss_pages[on_slow])
+                np.testing.assert_array_equal(is_write, view.miss_is_write[on_slow])
+                # the fast-node remainder plus the stream cover all misses
+                assert pages.size + (~on_slow).sum() == view.miss_pages.size
+                seen.append(pages.size)
+                return 0.0
+
+        engine.policy = Spy()
+        engine.policy.bind(engine)
+        engine.run()
+        assert sum(seen) > 0
+
+    def test_slow_miss_stream_empty_when_fast_tier_absorbs_everything(self):
+        """With the whole RSS on the fast node the CXL channel sees nothing."""
+        engine = build_engine(fast=2500, slow=2000, num_pages=2000)
+        streams = []
+
+        class Spy(NullPolicy):
+            def on_epoch(self, view):
+                streams.append(view.slow_miss_stream())
+                return 0.0
+
+        engine.policy = Spy()
+        engine.policy.bind(engine)
+        engine.run()
+        assert streams, "policy never ran"
+        for pages, is_write in streams:
+            assert pages.size == 0 and is_write.size == 0
+            assert pages.dtype == np.int64
+            assert is_write.dtype == bool

@@ -1,0 +1,304 @@
+"""Co-location engine tests: every policy end-to-end, conservation,
+QoS quota enforcement, and machine-level invariants."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.colocation import (
+    build_colocation,
+    make_tenant_specs,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.multitenant import QosConfig, TenantSpec
+from repro.policies import POLICY_NAMES
+
+#: small but non-trivial: two tenants, ~4K pages each, 8 epochs each
+TINY = ExperimentConfig(num_pages=8192, batches=8, batch_size=8192)
+
+
+def run_mix(policy, config=TINY, num_tenants=2, scheduler="round-robin",
+            qos=None, specs=None):
+    specs = specs or make_tenant_specs(num_tenants, config)
+    engine = build_colocation(specs, policy, config, scheduler, qos)
+    engine.prefill()
+    return engine, engine.run()
+
+
+def check_machine_invariants(engine):
+    """The shared machine must satisfy the single-tenant invariants."""
+    page_table = engine.page_table
+    nodes = page_table.node_of_page
+    assert (nodes >= 0).all(), "unmapped pages after a full run"
+    occupancy = page_table.occupancy()
+    for node in engine.topology.nodes:
+        assert occupancy.get(node.node_id, 0) == node.tier.used_pages, node.name
+        assert 0 <= node.tier.used_pages <= node.tier.capacity_pages
+
+
+@pytest.mark.parametrize("policy", POLICY_NAMES)
+def test_every_policy_runs_end_to_end(policy):
+    engine, report = run_mix(policy)
+    check_machine_invariants(engine)
+    report.verify_conservation()
+    assert len(report.tenants) == 2
+    for tenant in report.tenants.values():
+        assert len(tenant.report.epochs) == TINY.batches
+        assert tenant.report.total_accesses == TINY.batches * TINY.batch_size
+
+
+@pytest.mark.parametrize("scheduler", ("round-robin", "weighted-share", "priority"))
+def test_every_scheduler_runs_end_to_end(scheduler):
+    specs = make_tenant_specs(3, TINY, weights=[2.0, 1.0, 1.0],
+                              priorities=[1, 0, 0])
+    engine, report = run_mix("pebs", specs=specs, scheduler=scheduler)
+    check_machine_invariants(engine)
+    report.verify_conservation()
+
+
+def test_per_tenant_metrics_partition_machine_metrics():
+    engine, report = run_mix("neomem", num_tenants=3)
+    # exact partition: every machine epoch appears in exactly one tenant
+    machine_ids = [id(e) for e in report.machine.epochs]
+    tenant_ids = [
+        id(e) for tr in report.tenants.values() for e in tr.report.epochs
+    ]
+    assert sorted(machine_ids) == sorted(tenant_ids)
+    # and the aggregated counters agree (also covered by verify_conservation)
+    assert report.machine.total_accesses == sum(
+        tr.report.total_accesses for tr in report.tenants.values()
+    )
+    assert report.machine.total_slow_traffic_bytes == sum(
+        tr.report.total_slow_traffic_bytes for tr in report.tenants.values()
+    )
+
+
+def test_tenant_pages_stay_inside_their_namespace():
+    """No migration or allocation ever maps a page outside [0, total)."""
+    engine, _ = run_mix("neomem")
+    total = engine.layout.total_pages
+    assert engine.page_table.num_pages == total
+    for ns in engine.layout:
+        # each namespace's pages are fully mapped and tier-accounted
+        occ = engine.page_table.namespace_occupancy(ns.tenant)
+        assert sum(occ.values()) == ns.num_pages
+
+
+def test_contention_slows_tenants_down():
+    """Two tenants on one machine run slower per batch than solo."""
+    config = TINY
+    specs = make_tenant_specs(2, config)
+    engine, report = run_mix("neomem", specs=specs)
+    from repro.experiments.runner import topology_for
+    from repro.multitenant import ColocationEngine
+    from repro.experiments.runner import build_policy
+    from repro.workloads import make_workload
+
+    total = sum(s.num_pages for s in specs)
+    for spec in specs:
+        workload = make_workload(spec.workload, num_pages=spec.num_pages,
+                                 total_batches=config.batches,
+                                 batch_size=config.batch_size)
+        solo = ColocationEngine(
+            [(spec, workload)],
+            topology_for(total, config),
+            policy_factory=lambda p=spec.num_pages: build_policy("neomem", p, config),
+            config=config.engine_config(),
+        )
+        solo.prefill()
+        solo_report = solo.run()
+        colocated = report.tenants[spec.name].colocated_time_s
+        assert colocated > solo_report.machine.total_time_s
+
+
+class TestFastTierQuota:
+    def test_quota_caps_fast_tier_residency(self):
+        specs = make_tenant_specs(2, TINY, fast_quota_fractions=[0.1, None])
+        engine, report = run_mix("neomem", specs=specs)
+        quota = engine.arbiter.quota_pages_for(specs[0].name)
+        assert quota is not None and quota > 0
+        occ = engine.page_table.namespace_occupancy(specs[0].name)
+        assert occ.get(0, 0) <= quota
+        # the unconstrained tenant is free to exceed that level
+        other = engine.page_table.namespace_occupancy(specs[1].name)
+        assert other.get(0, 0) > quota
+
+    def test_zero_quota_pins_tenant_to_cxl(self):
+        specs = make_tenant_specs(2, TINY, fast_quota_fractions=[0.0, None])
+        engine, report = run_mix("neomem", specs=specs)
+        occ = engine.page_table.namespace_occupancy(specs[0].name)
+        assert occ.get(0, 0) == 0
+
+    def test_quota_disabled_by_qos_switch(self):
+        specs = make_tenant_specs(2, TINY, fast_quota_fractions=[0.05, None])
+        qos = QosConfig(enforce_quota=False)
+        engine, report = run_mix("neomem", specs=specs, qos=qos)
+        assert engine.arbiter.quota_pages_for(specs[0].name) is None
+
+    def test_quota_filter_vetoes_only_over_quota_tenants(self):
+        specs = make_tenant_specs(2, TINY, fast_quota_fractions=[0.1, None])
+        engine = build_colocation(specs, "neomem", TINY)
+        engine.prefill()
+        engine.run()
+        ns0 = engine.layout.namespace(specs[0].name)
+        ns1 = engine.layout.namespace(specs[1].name)
+        # tenant 0 is at quota after the run; its slow pages get vetoed
+        slow0 = engine.page_table.pages_on_node_in_namespace(1, specs[0].name)
+        slow1 = engine.page_table.pages_on_node_in_namespace(1, specs[1].name)
+        candidates = np.concatenate([slow0[:8], slow1[:8]])
+        kept = engine.arbiter.quota_filter(candidates)
+        assert not ns0.owns(kept).any()
+        assert ns1.owns(kept).sum() == min(8, slow1.size)
+
+
+class TestThpQuotaInteraction:
+    def test_thp_promotion_respects_promotion_filter_across_spans(self):
+        """A huge page straddling a veto boundary must not migrate whole.
+
+        Namespace windows need not align to 2 MB frames; the daemon must
+        not let a neighbour's hot reports drag a quota'd tenant's pages
+        onto the fast tier inside one huge-page migration.
+        """
+        from repro.core.daemon import NeoMemConfig, NeoMemDaemon
+        from repro.memsim.address import PAGES_PER_HUGE_PAGE
+        from repro.memsim.engine import EngineConfig, EpochView, SimulationEngine
+        from repro.memsim.tiers import CXL_DRAM_PROTO, DDR5_LOCAL
+
+        num_pages = 4 * PAGES_PER_HUGE_PAGE
+
+        class Space:
+            name = "stub"
+
+            def __init__(self, n):
+                self.num_pages = n
+
+            def next_batch(self, rng):
+                return None
+
+        daemon = NeoMemDaemon(NeoMemConfig(thp=True, thp_hot_reports=1))
+        engine = SimulationEngine(
+            Space(num_pages),
+            [(DDR5_LOCAL, num_pages), (CXL_DRAM_PROTO, num_pages)],
+            daemon,
+            EngineConfig(),
+        )
+        # everything starts on the slow node
+        engine.topology.first_touch_allocate(
+            engine.page_table, np.arange(num_pages), start_node=1
+        )
+        # veto boundary mid-frame: huge page 1 spans [512, 1024), the
+        # "quota'd tenant" owns [0, 768)
+        boundary = PAGES_PER_HUGE_PAGE + PAGES_PER_HUGE_PAGE // 2
+        daemon.promotion_filter = lambda pages: pages[pages >= boundary]
+        engine.migration.grant_quota(10.0)
+
+        empty = np.zeros(0, dtype=np.int64)
+        view = EpochView(
+            epoch=0, sim_time_ns=0.0, duration_ns=1e6, pages=empty,
+            is_write=empty.astype(bool), miss_mask=empty.astype(bool),
+            miss_pages=empty, miss_is_write=empty.astype(bool),
+            miss_nodes=empty, touched_pages=empty, engine=engine,
+        )
+        hot = np.arange(boundary + 32, boundary + 40)  # inside huge page 1
+        daemon._promote_thp(view, hot)
+
+        nodes = engine.page_table.node_of_page
+        assert (nodes[:boundary] == 1).all(), "vetoed tenant pages migrated"
+        # the surviving reports still moved up as base pages
+        assert (nodes[hot] == 0).all()
+        assert engine.migration.stats.promoted_huge_pages == 0
+
+        # a frame wholly past the boundary still migrates whole
+        hot2 = np.arange(3 * PAGES_PER_HUGE_PAGE, 3 * PAGES_PER_HUGE_PAGE + 4)
+        daemon._promote_thp(view, hot2)
+        span = slice(3 * PAGES_PER_HUGE_PAGE, 4 * PAGES_PER_HUGE_PAGE)
+        assert (engine.page_table.node_of_page[span] == 0).all()
+        assert engine.migration.stats.promoted_huge_pages == 1
+
+
+class TestPolicyScopes:
+    def test_shared_scope_uses_one_policy_instance(self):
+        engine, report = run_mix("neomem", num_tenants=3)
+        policies = {id(p) for p in engine.arbiter.policies.values()}
+        assert len(policies) == 1
+        assert report.machine.policy == "neomem+shared"
+
+    def test_per_tenant_scope_isolates_policy_instances(self):
+        qos = QosConfig(policy_scope="per-tenant")
+        engine, report = run_mix("neomem", num_tenants=3, qos=qos)
+        policies = {id(p) for p in engine.arbiter.policies.values()}
+        assert len(policies) == 3
+        assert report.machine.policy == "neomem+per-tenant"
+        report.verify_conservation()
+
+    def test_per_tenant_scope_runs_for_baseline_policy(self):
+        qos = QosConfig(policy_scope="per-tenant")
+        engine, report = run_mix("pebs", num_tenants=2, qos=qos)
+        report.verify_conservation()
+
+    def test_invalid_scope_rejected(self):
+        with pytest.raises(ValueError):
+            QosConfig(policy_scope="global")
+
+
+class TestColdStart:
+    def test_cold_start_tenant_prefills_to_cxl_only(self):
+        specs = [
+            TenantSpec("warm", "gups", 4096),
+            TenantSpec("cold", "pagerank", 4096, cold_start=True),
+        ]
+        engine = build_colocation(specs, "first-touch", TINY)
+        engine.prefill()
+        cold_occ = engine.page_table.namespace_occupancy("cold")
+        warm_occ = engine.page_table.namespace_occupancy("warm")
+        assert cold_occ.get(0, 0) == 0, "cold tenant landed on the fast tier"
+        assert warm_occ.get(0, 0) > 0
+
+    def test_promotion_rescues_cold_start_tenant(self):
+        specs = [
+            TenantSpec("warm", "gups", 4096),
+            TenantSpec("cold", "gups", 4096, cold_start=True),
+        ]
+        engine = build_colocation(specs, "neomem", TINY)
+        engine.prefill()
+        engine.run()
+        cold_occ = engine.page_table.namespace_occupancy("cold")
+        assert cold_occ.get(0, 0) > 0, "NeoMem never promoted the cold tenant"
+
+
+class TestConstruction:
+    def test_rss_mismatch_rejected(self):
+        from repro.workloads import make_workload
+        spec = TenantSpec("t0", "gups", 2048)
+        workload = make_workload("gups", num_pages=1024, total_batches=4,
+                                 batch_size=1024)
+        from repro.multitenant import ColocationEngine
+        from repro.experiments.runner import topology_for
+        with pytest.raises(ValueError, match="RSS"):
+            ColocationEngine(
+                [(spec, workload)],
+                topology_for(2048, TINY),
+                policy_factory=lambda: None,
+            )
+
+    def test_empty_mix_rejected(self):
+        from repro.multitenant import ColocationEngine
+        with pytest.raises(ValueError):
+            ColocationEngine([], [], policy_factory=lambda: None)
+
+    def test_combined_rss_must_fit_topology(self):
+        specs = make_tenant_specs(2, TINY)
+        from repro.multitenant import ColocationEngine
+        from repro.experiments.runner import build_policy
+        from repro.workloads import make_workload
+        from repro.memsim.tiers import CXL_DRAM_PROTO, DDR5_LOCAL
+        tenants = [
+            (s, make_workload(s.workload, num_pages=s.num_pages,
+                              total_batches=4, batch_size=1024))
+            for s in specs
+        ]
+        with pytest.raises(MemoryError):
+            ColocationEngine(
+                tenants,
+                [(DDR5_LOCAL, 64), (CXL_DRAM_PROTO, 64)],
+                policy_factory=lambda: build_policy("first-touch", 8192, TINY),
+            )

@@ -1,0 +1,117 @@
+"""Tenant namespace tests: translation, ownership, non-aliasing."""
+
+import numpy as np
+import pytest
+
+from repro.memsim.page_table import PageTable
+from repro.multitenant.namespace import AddressSpaceLayout, TenantNamespace
+from repro.multitenant.spec import TenantSpec
+
+
+def specs_of(sizes):
+    return [
+        TenantSpec(name=f"t{i}", workload="gups", num_pages=n)
+        for i, n in enumerate(sizes)
+    ]
+
+
+class TestTenantNamespace:
+    def test_roundtrip(self):
+        ns = TenantNamespace("t0", base=100, num_pages=50)
+        local = np.array([0, 7, 49])
+        glob = ns.to_global(local)
+        assert (glob == local + 100).all()
+        assert (ns.to_local(glob) == local).all()
+
+    def test_local_bounds_enforced(self):
+        ns = TenantNamespace("t0", base=100, num_pages=50)
+        with pytest.raises(ValueError):
+            ns.to_global(np.array([50]))
+        with pytest.raises(ValueError):
+            ns.to_global(np.array([-1]))
+
+    def test_to_local_rejects_foreign_pages(self):
+        ns = TenantNamespace("t0", base=100, num_pages=50)
+        with pytest.raises(ValueError):
+            ns.to_local(np.array([99]))
+        with pytest.raises(ValueError):
+            ns.to_local(np.array([150]))
+
+    def test_owns_mask(self):
+        ns = TenantNamespace("t0", base=10, num_pages=5)
+        mask = ns.owns(np.array([9, 10, 14, 15]))
+        assert mask.tolist() == [False, True, True, False]
+
+
+class TestAddressSpaceLayout:
+    def test_windows_are_contiguous_and_disjoint(self):
+        layout = AddressSpaceLayout(specs_of([100, 200, 50]))
+        windows = [(ns.base, ns.end) for ns in layout]
+        assert windows == [(0, 100), (100, 300), (300, 350)]
+        assert layout.total_pages == 350
+
+    def test_namespaces_never_alias_property(self):
+        """Random tenant mixes: translated pages never collide."""
+        rng = np.random.default_rng(7)
+        for _ in range(25):
+            sizes = rng.integers(1, 5000, size=rng.integers(2, 9)).tolist()
+            layout = AddressSpaceLayout(specs_of(sizes))
+            seen = np.zeros(layout.total_pages, dtype=np.int32)
+            for ns in layout:
+                local = rng.integers(0, ns.num_pages, size=min(ns.num_pages, 256))
+                seen[ns.to_global(np.unique(local))] += 1
+                # full windows tile the space exactly once
+            covers = np.zeros(layout.total_pages, dtype=np.int32)
+            for ns in layout:
+                covers[ns.global_slice()] += 1
+            assert (covers == 1).all(), "windows must partition the space"
+            assert seen.max() <= 1, "two tenants translated to the same page"
+
+    def test_owner_index_of(self):
+        layout = AddressSpaceLayout(specs_of([10, 20, 30]))
+        pages = np.array([0, 9, 10, 29, 30, 59])
+        assert layout.owner_index_of(pages).tolist() == [0, 0, 1, 1, 2, 2]
+        with pytest.raises(ValueError):
+            layout.owner_index_of(np.array([60]))
+
+    def test_duplicate_names_rejected(self):
+        specs = specs_of([10, 10])
+        bad = [specs[0], TenantSpec(name="t0", workload="gups", num_pages=5)]
+        with pytest.raises(ValueError):
+            AddressSpaceLayout(bad)
+
+
+class TestPageTableNamespaces:
+    def test_register_and_query(self):
+        pt = PageTable(100)
+        pt.register_namespace("a", 0, 40)
+        pt.register_namespace("b", 40, 60)
+        assert pt.namespace_bounds("b") == (40, 100)
+        mask = pt.namespace_mask("a")
+        assert mask[:40].all() and not mask[40:].any()
+        pt.map_pages(np.arange(10), 0)
+        pt.map_pages(np.arange(45, 50), 1)
+        assert pt.namespace_occupancy("a") == {0: 10}
+        assert pt.namespace_occupancy("b") == {1: 5}
+        assert pt.pages_on_node_in_namespace(1, "b").tolist() == [45, 46, 47, 48, 49]
+
+    def test_overlap_rejected(self):
+        pt = PageTable(100)
+        pt.register_namespace("a", 0, 40)
+        with pytest.raises(ValueError):
+            pt.register_namespace("b", 39, 10)
+        with pytest.raises(ValueError):
+            pt.register_namespace("a", 50, 10)  # duplicate label
+
+    def test_out_of_range_rejected(self):
+        pt = PageTable(100)
+        with pytest.raises(ValueError):
+            pt.register_namespace("a", 90, 20)
+        with pytest.raises(ValueError):
+            pt.register_namespace("b", -1, 5)
+
+    def test_layout_registers_with_page_table(self):
+        layout = AddressSpaceLayout(specs_of([30, 70]))
+        pt = PageTable(layout.total_pages)
+        layout.register_with(pt)
+        assert set(pt.namespaces) == {"t0", "t1"}

@@ -1,0 +1,99 @@
+"""Scheduler discipline tests: ordering, shares, priorities."""
+
+import collections
+
+import pytest
+
+from repro.multitenant.scheduler import (
+    SCHEDULER_NAMES,
+    make_scheduler,
+)
+from repro.multitenant.spec import TenantSpec
+
+
+class FakeRuntime:
+    def __init__(self, spec):
+        self.spec = spec
+
+
+def runtimes(*specs):
+    return [FakeRuntime(s) for s in specs]
+
+
+def spec(name, weight=1.0, priority=0):
+    return TenantSpec(name=name, workload="gups", num_pages=64,
+                      weight=weight, priority=priority)
+
+
+class TestRoundRobin:
+    def test_cycles_in_spec_order(self):
+        specs = [spec("a"), spec("b"), spec("c")]
+        sched = make_scheduler("round-robin", specs)
+        rts = runtimes(*specs)
+        picks = [sched.pick(rts).spec.name for _ in range(7)]
+        assert picks == ["a", "b", "c", "a", "b", "c", "a"]
+
+    def test_skips_finished_tenants(self):
+        specs = [spec("a"), spec("b"), spec("c")]
+        sched = make_scheduler("round-robin", specs)
+        rts = runtimes(*specs)
+        sched.pick(rts)  # a
+        sched.pick(rts)  # b
+        # c finishes before ever running; rotation continues over the rest
+        picks = [sched.pick(rts[:2]).spec.name for _ in range(4)]
+        assert picks == ["a", "b", "a", "b"]
+
+
+class TestWeightedShare:
+    def test_shares_proportional_to_weight(self):
+        specs = [spec("heavy", weight=3.0), spec("light", weight=1.0)]
+        sched = make_scheduler("weighted-share", specs)
+        rts = runtimes(*specs)
+        counts = collections.Counter(sched.pick(rts).spec.name for _ in range(400))
+        assert counts["heavy"] == 300
+        assert counts["light"] == 100
+
+    def test_equal_weights_degenerate_to_round_robin(self):
+        specs = [spec("a"), spec("b")]
+        sched = make_scheduler("weighted-share", specs)
+        rts = runtimes(*specs)
+        picks = [sched.pick(rts).spec.name for _ in range(4)]
+        assert picks == ["a", "b", "a", "b"]
+
+
+class TestPriority:
+    def test_higher_priority_runs_first(self):
+        specs = [spec("lo", priority=0), spec("hi", priority=5)]
+        sched = make_scheduler("priority", specs)
+        rts = runtimes(*specs)
+        assert all(sched.pick(rts).spec.name == "hi" for _ in range(10))
+        # once hi drains, lo runs
+        assert sched.pick([rts[0]]).spec.name == "lo"
+
+    def test_round_robin_within_level(self):
+        specs = [spec("a", priority=1), spec("b", priority=1), spec("z", priority=0)]
+        sched = make_scheduler("priority", specs)
+        rts = runtimes(*specs)
+        picks = [sched.pick(rts).spec.name for _ in range(4)]
+        assert picks == ["a", "b", "a", "b"]
+
+
+class TestRegistry:
+    def test_all_names_constructible(self):
+        specs = [spec("a"), spec("b")]
+        for name in SCHEDULER_NAMES:
+            sched = make_scheduler(name, specs)
+            assert sched.name == name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            make_scheduler("fifo", [spec("a")])
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ValueError):
+            make_scheduler("round-robin", [])
+
+    def test_pick_from_empty_runnable_rejected(self):
+        sched = make_scheduler("round-robin", [spec("a")])
+        with pytest.raises(ValueError):
+            sched.pick([])
