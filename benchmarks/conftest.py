@@ -6,11 +6,19 @@ bench suite completes in minutes.  Each benchmark executes its
 experiment exactly once (``rounds=1``): the timed quantity is the whole
 experiment, and the printed tables/series are the reproduction output
 to compare against the paper.
+
+Every figure/table sweep routes through one session-wide
+:class:`~repro.experiments.sweep.SweepExecutor`, so the whole bench
+suite obeys the environment knobs: ``REPRO_SWEEP_WORKERS=N`` fans each
+sweep over N processes, ``REPRO_SWEEP_CACHE=dir`` caches per-job
+results so a re-run (or a figure deriving from another figure's grid,
+like Fig. 13 from Fig. 11) skips completed points.
 """
 
 import pytest
 
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.sweep import SweepExecutor
 
 #: the machine configuration all figure/table benches run
 BENCH_CONFIG = ExperimentConfig(num_pages=12288, batches=36, batch_size=12288)
@@ -19,6 +27,19 @@ BENCH_CONFIG = ExperimentConfig(num_pages=12288, batches=36, batch_size=12288)
 @pytest.fixture(scope="session")
 def bench_config():
     return BENCH_CONFIG
+
+
+@pytest.fixture(scope="session")
+def sweep():
+    """Session-wide executor; workers/cache come from the environment."""
+    executor = SweepExecutor()
+    yield executor
+    stats = executor.stats
+    if stats.cache_hits or stats.cache_misses:
+        print(
+            f"\n[sweep] executed={stats.executed} cache_hits={stats.cache_hits} "
+            f"cache_misses={stats.cache_misses} deduplicated={stats.deduplicated}"
+        )
 
 
 def run_once(benchmark, func, *args, **kwargs):

@@ -4,8 +4,8 @@ from benchmarks.conftest import run_once
 from repro.experiments import ablation
 
 
-def test_hot_bit_filter_prevents_duplicate_floods(benchmark, bench_config):
-    result = run_once(benchmark, ablation.run_filter_ablation, bench_config)
+def test_hot_bit_filter_prevents_duplicate_floods(benchmark, bench_config, sweep):
+    result = run_once(benchmark, ablation.run_filter_ablation, bench_config, executor=sweep)
     print()
     print(
         "Hot-bit filter ablation (GUPS stream, 4K-entry FIFO):\n"
@@ -20,8 +20,8 @@ def test_hot_bit_filter_prevents_duplicate_floods(benchmark, bench_config):
     assert result.queued_without_filter > result.queued_with_filter
 
 
-def test_error_bound_check_protects_undersized_sketch(benchmark, bench_config):
-    result = run_once(benchmark, ablation.run_bound_ablation, bench_config)
+def test_error_bound_check_protects_undersized_sketch(benchmark, bench_config, sweep):
+    result = run_once(benchmark, ablation.run_bound_ablation, bench_config, executor=sweep)
     print()
     print(
         f"Error-bound ablation (W={result.sketch_width}):\n"

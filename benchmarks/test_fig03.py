@@ -21,8 +21,8 @@ def test_fig03a_latency_ladder(benchmark, bench_config):
     assert 170 <= rungs[1].read_latency_ns <= 250
 
 
-def test_fig03b_slow_tier_slowdown(benchmark, bench_config):
-    slowdowns = run_once(benchmark, fig03.run_fig03b, bench_config)
+def test_fig03b_slow_tier_slowdown(benchmark, bench_config, sweep):
+    slowdowns = run_once(benchmark, fig03.run_fig03b, bench_config, executor=sweep)
     print()
     print(
         format_table(

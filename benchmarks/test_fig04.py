@@ -6,9 +6,9 @@ from repro.experiments import fig04
 from repro.experiments.reporting import format_series, format_table
 
 
-def test_fig04a_pte_scan_frontier(benchmark, bench_config):
-    points = run_once(benchmark, fig04.run_fig04a, bench_config)
-    neoprof = fig04.run_fig04a_neoprof_point(bench_config)
+def test_fig04a_pte_scan_frontier(benchmark, bench_config, sweep):
+    points = run_once(benchmark, fig04.run_fig04a, bench_config, executor=sweep)
+    neoprof = fig04.run_fig04a_neoprof_point(bench_config, executor=sweep)
     print()
     rows = [
         (f"{p.sample_interval_ms:g}", p.num_regions, p.overhead_percent) for p in points
@@ -49,8 +49,8 @@ def test_fig04b_tlb_llc_dispersion(benchmark):
     assert result.sampled_pages > 100
 
 
-def test_fig04c_pebs_overhead_curve(benchmark, bench_config):
-    slowdowns = run_once(benchmark, fig04.run_fig04c, bench_config)
+def test_fig04c_pebs_overhead_curve(benchmark, bench_config, sweep):
+    slowdowns = run_once(benchmark, fig04.run_fig04c, bench_config, executor=sweep)
     print()
     intervals = sorted(slowdowns)
     print(

@@ -8,8 +8,8 @@ from repro.experiments.reporting import format_table
 from repro.workloads import BENCHMARKS
 
 
-def test_fig11_end_to_end(benchmark, bench_config):
-    reports = run_once(benchmark, fig11.run_fig11, bench_config)
+def test_fig11_end_to_end(benchmark, bench_config, sweep):
+    reports = run_once(benchmark, fig11.run_fig11, bench_config, executor=sweep)
     table = fig11.normalized_performance(reports)
     print()
     systems = list(fig11.SYSTEMS)

@@ -5,8 +5,8 @@ from repro.experiments import fig12
 from repro.experiments.reporting import format_table
 
 
-def test_fig12_memory_ratios(benchmark, bench_config):
-    results = run_once(benchmark, fig12.run_fig12, bench_config)
+def test_fig12_memory_ratios(benchmark, bench_config, sweep):
+    results = run_once(benchmark, fig12.run_fig12, bench_config, executor=sweep)
     norm = fig12.normalized_to_pebs(results)
     print()
     ratios = list(fig12.RATIOS)

@@ -6,8 +6,10 @@ from repro.experiments.reporting import format_table
 from repro.workloads import BENCHMARKS
 
 
-def test_fig13_traffic_and_migrations(benchmark, bench_config):
-    reports = run_once(benchmark, fig11.run_fig11, bench_config)
+def test_fig13_traffic_and_migrations(benchmark, bench_config, sweep):
+    # the same grid as Fig. 11: with REPRO_SWEEP_CACHE set, these runs
+    # are cache hits from test_fig11 rather than a second full sweep
+    reports = run_once(benchmark, fig11.run_fig11, bench_config, executor=sweep)
     panel = fig13.traffic_and_migrations(reports)
     print()
     systems = list(fig11.SYSTEMS)

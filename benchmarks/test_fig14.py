@@ -7,8 +7,8 @@ from repro.experiments import fig14
 from repro.experiments.reporting import format_series, format_table, sparkline
 
 
-def test_fig14a_dynamic_vs_fixed_threshold(benchmark, bench_config):
-    profiles = run_once(benchmark, fig14.run_fig14a, bench_config)
+def test_fig14a_dynamic_vs_fixed_threshold(benchmark, bench_config, sweep):
+    profiles = run_once(benchmark, fig14.run_fig14a, bench_config, executor=sweep)
     print()
     names = list(profiles)
     iterations = len(profiles["dynamic"].iteration_times_s)
@@ -34,8 +34,9 @@ def test_fig14a_dynamic_vs_fixed_threshold(benchmark, bench_config):
     assert worst > totals["dynamic"] * 1.2
 
 
-def test_fig14bcd_timelines(benchmark, bench_config):
-    profile = run_once(benchmark, fig14.run_pagerank, "neomem", bench_config)
+def test_fig14bcd_timelines(benchmark, bench_config, sweep):
+    # same job as fig14a's "dynamic" arm: a cache hit when caching is on
+    profile = run_once(benchmark, fig14.run_pagerank, "neomem", bench_config, executor=sweep)
     print()
     thresholds = [theta for _, theta in profile.threshold_timeline]
     times = [t for t, _ in profile.threshold_timeline]

@@ -5,8 +5,8 @@ from repro.experiments import fig15
 from repro.experiments.reporting import format_series
 
 
-def test_fig15a_migration_interval(benchmark, bench_config):
-    perf = run_once(benchmark, fig15.run_fig15a, bench_config)
+def test_fig15a_migration_interval(benchmark, bench_config, sweep):
+    perf = run_once(benchmark, fig15.run_fig15a, bench_config, executor=sweep)
     print()
     intervals = sorted(perf)
     print(format_series(
@@ -24,8 +24,8 @@ def test_fig15a_migration_interval(benchmark, bench_config):
     assert perf[intervals[1]] > 0.95
 
 
-def test_fig15b_migration_quota(benchmark, bench_config):
-    perf = run_once(benchmark, fig15.run_fig15b, bench_config)
+def test_fig15b_migration_quota(benchmark, bench_config, sweep):
+    perf = run_once(benchmark, fig15.run_fig15b, bench_config, executor=sweep)
     print()
     quotas = sorted(perf)
     print(format_series(
@@ -60,8 +60,8 @@ def test_fig15c_error_bound_vs_width(benchmark, bench_config):
     assert values[0] > values[-1]
 
 
-def test_fig15d_performance_vs_width(benchmark, bench_config):
-    perf = run_once(benchmark, fig15.run_fig15d, bench_config)
+def test_fig15d_performance_vs_width(benchmark, bench_config, sweep):
+    perf = run_once(benchmark, fig15.run_fig15d, bench_config, executor=sweep)
     print()
     widths = sorted(perf)
     print(format_series(

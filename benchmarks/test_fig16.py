@@ -5,9 +5,14 @@ from repro.experiments import fig16
 from repro.experiments.reporting import format_table, sparkline
 
 
-def test_fig16_convergence(benchmark, bench_config):
+def test_fig16_convergence(benchmark, bench_config, sweep):
     curves = run_once(
-        benchmark, fig16.run_fig16, bench_config, total_batches=72, relocate_at=36
+        benchmark,
+        fig16.run_fig16,
+        bench_config,
+        total_batches=72,
+        relocate_at=36,
+        executor=sweep,
     )
     print()
     rows = []

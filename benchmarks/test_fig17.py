@@ -5,8 +5,8 @@ from repro.experiments import fig17
 from repro.experiments.reporting import format_table
 
 
-def test_fig17_memtis_comparison(benchmark, bench_config):
-    reports = run_once(benchmark, fig17.run_fig17, bench_config)
+def test_fig17_memtis_comparison(benchmark, bench_config, sweep):
+    reports = run_once(benchmark, fig17.run_fig17, bench_config, executor=sweep)
     norm = fig17.normalized_to_neomem(reports)
     print()
     print(

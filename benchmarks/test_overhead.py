@@ -4,8 +4,8 @@ from benchmarks.conftest import run_once
 from repro.experiments import overhead
 
 
-def test_neoprof_cpu_overhead(benchmark, bench_config):
-    result = run_once(benchmark, overhead.run_overhead, bench_config)
+def test_neoprof_cpu_overhead(benchmark, bench_config, sweep):
+    result = run_once(benchmark, overhead.run_overhead, bench_config, executor=sweep)
     print()
     print(
         f"GUPS runtime: baseline {result['baseline_s'] * 1e3:.3f} ms, "

@@ -1,0 +1,91 @@
+"""Sweep executor: serial vs process-pool wall clock on one figure grid.
+
+Runs the same multi-point sweep (a Fig. 12-style workload x ratio x
+system grid) through the serial executor and a 4-worker process pool,
+asserts the per-job reports are bit-identical, and emits
+``BENCH_sweep.json`` so the serial/parallel perf trajectory is tracked
+run over run.
+
+The >= 2x speedup acceptance bar is only asserted when the machine has
+enough cores to express it; the JSON records ``cpu_count`` either way,
+so a single-core CI shard still produces an honest artifact.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from benchmarks.conftest import BENCH_CONFIG
+from repro.experiments import fig12
+from repro.experiments.sweep import SweepExecutor
+
+#: where the perf artifact lands (repo root, next to README)
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
+
+PARALLEL_WORKERS = 4
+
+
+def _sweep_jobs():
+    """A multi-point grid: 2 workloads x 2 ratios x 2 systems = 8 jobs."""
+    return fig12.fig12_jobs(
+        BENCH_CONFIG, workloads=("gups", "silo"), ratios=((1, 2), (1, 4))
+    )
+
+
+def test_sweep_parallel_speedup(benchmark):
+    jobs = _sweep_jobs()
+
+    def measure():
+        # cache_dir="" pins caching OFF even when REPRO_SWEEP_CACHE is
+        # set: this test's contract is raw execution wall clock, and a
+        # warm cache would turn the "parallel" pass into pickle loads
+        start = time.perf_counter()
+        serial_reports = SweepExecutor(workers=1, cache_dir="").run(jobs)
+        serial_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        parallel_reports = SweepExecutor(
+            workers=PARALLEL_WORKERS, cache_dir=""
+        ).run(jobs)
+        parallel_s = time.perf_counter() - start
+        return serial_reports, serial_s, parallel_reports, parallel_s
+
+    serial_reports, serial_s, parallel_reports, parallel_s = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+
+    identical = all(
+        a.epochs == b.epochs and a.workload == b.workload and a.policy == b.policy
+        for a, b in zip(serial_reports, parallel_reports)
+    )
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    cpu_count = os.cpu_count() or 1
+
+    payload = {
+        "jobs": len(jobs),
+        "workers": PARALLEL_WORKERS,
+        "cpu_count": cpu_count,
+        "serial_s": round(serial_s, 4),
+        "parallel_s": round(parallel_s, 4),
+        "speedup": round(speedup, 3),
+        "bit_identical_reports": identical,
+        "config": {
+            "num_pages": BENCH_CONFIG.num_pages,
+            "batches": BENCH_CONFIG.batches,
+            "batch_size": BENCH_CONFIG.batch_size,
+        },
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    print()
+    print(
+        f"sweep of {len(jobs)} jobs: serial {serial_s:.2f}s, "
+        f"{PARALLEL_WORKERS}-worker {parallel_s:.2f}s -> {speedup:.2f}x "
+        f"({cpu_count} cpu); wrote {BENCH_JSON.name}"
+    )
+
+    # determinism is unconditional: pool and serial must agree bit-for-bit
+    assert identical
+    # the throughput bar needs the cores to express it
+    if cpu_count >= PARALLEL_WORKERS:
+        assert speedup >= 2.0, payload

@@ -5,8 +5,8 @@ from repro.experiments import table01
 from repro.experiments.reporting import format_table
 
 
-def test_table01_profiling_comparison(benchmark, bench_config):
-    rows = run_once(benchmark, table01.run_table01, bench_config)
+def test_table01_profiling_comparison(benchmark, bench_config, sweep):
+    rows = run_once(benchmark, table01.run_table01, bench_config, executor=sweep)
     print()
     print(
         format_table(

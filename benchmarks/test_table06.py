@@ -5,8 +5,8 @@ from repro.experiments import table06
 from repro.experiments.reporting import format_table
 
 
-def test_table06_thp(benchmark, bench_config):
-    rows = run_once(benchmark, table06.run_table06, bench_config)
+def test_table06_thp(benchmark, bench_config, sweep):
+    rows = run_once(benchmark, table06.run_table06, bench_config, executor=sweep)
     print()
     print(
         format_table(

@@ -5,13 +5,16 @@ A downstream use the paper motivates: given a CXL expansion budget, how
 small can the DRAM tier be before tiering stops hiding the CXL latency?
 Sweeps fast:slow ratios for two contrasting workloads — skew-heavy Silo
 and streaming bwaves — under NeoMem, and reports the runtime cliff.
+The sweep is declared as JobSpecs and handed to one SweepExecutor, so
+``REPRO_SWEEP_WORKERS=4`` parallelizes it and ``REPRO_SWEEP_CACHE=dir``
+makes re-runs instant.
 
 Usage::
 
     python examples/capacity_planning.py
 """
 
-from repro import ExperimentConfig, run_one
+from repro import ExperimentConfig, JobSpec, SweepExecutor
 
 
 RATIOS = ((1, 1), (1, 2), (1, 4), (1, 8), (1, 16))
@@ -19,13 +22,13 @@ RATIOS = ((1, 1), (1, 2), (1, 4), (1, 8), (1, 16))
 
 def main() -> None:
     base = ExperimentConfig(num_pages=12288, batches=36, batch_size=12288)
+    executor = SweepExecutor()  # workers/cache from the environment
     for workload in ("silo", "bwaves"):
         print(f"\n{workload}: runtime vs fast-tier share under NeoMem")
-        results = {}
-        for ratio in RATIOS:
-            config = base.with_ratio(*ratio)
-            report = run_one(workload, "neomem", config)
-            results[ratio] = report
+        jobs = [
+            JobSpec(workload, "neomem", base.with_ratio(*ratio)) for ratio in RATIOS
+        ]
+        results = dict(zip(RATIOS, executor.run(jobs)))
         best = min(r.total_time_s for r in results.values())
         for ratio, report in results.items():
             share = ratio[0] / sum(ratio)

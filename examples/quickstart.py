@@ -11,15 +11,18 @@ Usage::
     python examples/quickstart.py
 """
 
-from repro import ExperimentConfig, run_one
+from repro import ExperimentConfig, JobSpec, SweepExecutor
 
 
 def main() -> None:
     config = ExperimentConfig(num_pages=12288, batches=36, batch_size=12288)
 
     print("running GUPS under NeoMem and under first-touch NUMA...")
-    neomem = run_one("gups", "neomem", config)
-    baseline = run_one("gups", "first-touch", config)
+    # the two runs as one declarative sweep: REPRO_SWEEP_WORKERS=2 runs
+    # them side by side, REPRO_SWEEP_CACHE=dir makes re-runs instant
+    neomem, baseline = SweepExecutor().run(
+        [JobSpec("gups", "neomem", config), JobSpec("gups", "first-touch", config)]
+    )
 
     for report in (neomem, baseline):
         s = report.summary()

@@ -25,7 +25,14 @@ Quickstart::
 
 from repro.core import NeoMemConfig, NeoMemDaemon, NeoMemSysfs
 from repro.core.neoprof import CountMinSketch, NeoProfConfig, NeoProfDevice
-from repro.experiments import DEFAULT_CONFIG, ExperimentConfig, run_colocation, run_one
+from repro.experiments import (
+    DEFAULT_CONFIG,
+    ExperimentConfig,
+    JobSpec,
+    SweepExecutor,
+    run_colocation,
+    run_one,
+)
 from repro.memsim import EngineConfig, SimulationEngine, SimulationReport
 from repro.multitenant import (
     SCHEDULER_NAMES,
@@ -49,6 +56,8 @@ __all__ = [
     "NeoProfDevice",
     "DEFAULT_CONFIG",
     "ExperimentConfig",
+    "JobSpec",
+    "SweepExecutor",
     "run_colocation",
     "run_one",
     "EngineConfig",

@@ -8,6 +8,8 @@ helper that renders the same rows/series the paper reports; the
 
 from repro.experiments.colocation import (
     build_colocation,
+    colocation_job,
+    colocation_sweep_jobs,
     format_colocation,
     make_tenant_specs,
     run_colocation,
@@ -24,19 +26,35 @@ from repro.experiments.runner import (
     warm_first_touch,
     workload_pages,
 )
+from repro.experiments.sweep import (
+    JobSpec,
+    SweepError,
+    SweepExecutor,
+    SweepSerializationError,
+    job_key,
+    resolve_executor,
+)
 
 __all__ = [
     "DEFAULT_CONFIG",
     "SMOKE_CONFIG",
     "ExperimentConfig",
+    "JobSpec",
+    "SweepError",
+    "SweepExecutor",
+    "SweepSerializationError",
     "build_colocation",
     "build_engine",
     "build_policy",
     "build_workload",
+    "colocation_job",
+    "colocation_sweep_jobs",
     "default_policy_kwargs",
     "format_colocation",
     "geomean",
+    "job_key",
     "make_tenant_specs",
+    "resolve_executor",
     "run_colocation",
     "run_colocation_sweep",
     "run_one",

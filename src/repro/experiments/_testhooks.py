@@ -1,0 +1,30 @@
+"""Reference JobSpec hooks used by the sweep test suite.
+
+Extractors and factories are referenced by dotted path and resolved in
+worker processes, so they must live in an importable module — test
+files are not.  These double as minimal examples of the extractor
+contract: ``extractor(report, engine)`` runs in the worker with the
+live engine and must leave only picklable data in
+``report.annotations``.
+"""
+
+from __future__ import annotations
+
+
+def record_fast_pages(report, engine) -> None:
+    """Well-behaved extractor: reduce engine state to a plain counter."""
+    report.annotations["fast_tier_pages"] = int(
+        engine.page_table.pages_on_node(0).size
+    )
+
+
+def poison_annotations(report, engine) -> None:
+    """Misbehaving extractor: leaks a live object into the annotations
+    (what the serialization guard must catch with a clear error)."""
+    report.annotations["extractor_leak"] = engine
+
+
+def none_runner(spec) -> None:
+    """Custom runner returning None — a legal (picklable) result that
+    the cache must still treat as a hit on re-runs."""
+    return None

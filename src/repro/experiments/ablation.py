@@ -24,6 +24,7 @@ from repro.core.neoprof.histogram import HistogramUnit, loose_error_bound, tight
 from repro.core.neoprof.sketch import CountMinSketch
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
 from repro.experiments.runner import build_workload
+from repro.experiments.sweep import JobSpec, SweepExecutor, resolve_executor
 
 
 @dataclass(frozen=True)
@@ -34,10 +35,31 @@ class FilterAblationResult:
     dropped_without_filter: int
 
 
+def _run_filter_job(spec: JobSpec) -> FilterAblationResult:
+    """Custom JobSpec runner: the filter ablation is a detector stream,
+    not an engine run, so it bypasses ``run_one`` entirely."""
+    return _filter_ablation(spec.resolved_config(), **spec.runner_kwargs)
+
+
 def run_filter_ablation(
-    config: ExperimentConfig = DEFAULT_CONFIG, epochs: int = 12
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    epochs: int = 12,
+    *,
+    executor: SweepExecutor | None = None,
+    workers: int | None = None,
 ) -> FilterAblationResult:
     """Hot-bit filter on vs off, on a GUPS slow-tier stream."""
+    job = JobSpec(
+        workload="gups",
+        policy="ablation-filter",
+        config=config,
+        runner="repro.experiments.ablation:_run_filter_job",
+        runner_kwargs={"epochs": epochs},
+    )
+    return resolve_executor(executor, workers).run([job])[0]
+
+
+def _filter_ablation(config: ExperimentConfig, epochs: int) -> FilterAblationResult:
     workload = build_workload("gups", config, total_batches=epochs)
     rng = np.random.default_rng(config.seed)
     batches = []
@@ -75,12 +97,33 @@ class BoundAblationResult:
     threshold_with_check: float
 
 
+def _run_bound_job(spec: JobSpec) -> BoundAblationResult:
+    """Custom JobSpec runner for the error-bound ablation."""
+    return _bound_ablation(spec.resolved_config(), **spec.runner_kwargs)
+
+
 def run_bound_ablation(
     config: ExperimentConfig = DEFAULT_CONFIG,
     sketch_width: int = 1024,
     epochs: int = 12,
+    *,
+    executor: SweepExecutor | None = None,
+    workers: int | None = None,
 ) -> BoundAblationResult:
     """Undersized sketch: what does the error clamp protect against?"""
+    job = JobSpec(
+        workload="gups",
+        policy="ablation-bound",
+        config=config,
+        runner="repro.experiments.ablation:_run_bound_job",
+        runner_kwargs={"sketch_width": sketch_width, "epochs": epochs},
+    )
+    return resolve_executor(executor, workers).run([job])[0]
+
+
+def _bound_ablation(
+    config: ExperimentConfig, sketch_width: int, epochs: int
+) -> BoundAblationResult:
     from repro.core.policy import DynamicThresholdPolicy, ThresholdPolicyConfig
 
     workload = build_workload("gups", config, total_batches=epochs)

@@ -21,6 +21,7 @@ from dataclasses import replace
 
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
 from repro.experiments.runner import build_policy, topology_for
+from repro.experiments.sweep import JobSpec, SweepExecutor, resolve_executor
 from repro.multitenant import (
     SCHEDULER_NAMES,
     ColocationEngine,
@@ -108,6 +109,48 @@ def build_colocation(
     )
 
 
+def colocation_job(
+    specs: list[TenantSpec],
+    policy_name: str = "neomem",
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    scheduler: str = "round-robin",
+    qos: QosConfig | None = None,
+    solo_baselines: bool = True,
+    tag: str = "",
+) -> JobSpec:
+    """One co-located run (plus its solo baselines) as a JobSpec.
+
+    TenantSpecs and the QosConfig are frozen dataclasses, so the whole
+    tenant mix hashes into the job's cache key.
+    """
+    return JobSpec(
+        workload="colocation",
+        policy=policy_name,
+        config=config,
+        runner="repro.experiments.colocation:_run_colocation_job",
+        runner_kwargs={
+            "specs": list(specs),
+            "scheduler": scheduler,
+            "qos": qos,
+            "solo_baselines": solo_baselines,
+        },
+        tag=tag,
+    )
+
+
+def _run_colocation_job(spec: JobSpec) -> ColocationReport:
+    """Custom JobSpec runner: a ColocationEngine run, not a run_one."""
+    kwargs = spec.runner_kwargs
+    return _run_colocation(
+        kwargs["specs"],
+        spec.policy,
+        spec.resolved_config(),
+        kwargs["scheduler"],
+        kwargs["qos"],
+        kwargs["solo_baselines"],
+    )
+
+
 def run_colocation(
     specs: list[TenantSpec],
     policy_name: str = "neomem",
@@ -115,6 +158,9 @@ def run_colocation(
     scheduler: str = "round-robin",
     qos: QosConfig | None = None,
     solo_baselines: bool = True,
+    *,
+    executor: SweepExecutor | None = None,
+    workers: int | None = None,
 ) -> ColocationReport:
     """One co-located run, plus per-tenant solo baselines for slowdown.
 
@@ -122,6 +168,18 @@ def run_colocation(
     sized for the full mix), so the slowdown ratio isolates contention:
     the solo tenant enjoys the whole fast tier and an idle CXL channel.
     """
+    job = colocation_job(specs, policy_name, config, scheduler, qos, solo_baselines)
+    return resolve_executor(executor, workers).run([job])[0]
+
+
+def _run_colocation(
+    specs: list[TenantSpec],
+    policy_name: str,
+    config: ExperimentConfig,
+    scheduler: str,
+    qos: QosConfig | None,
+    solo_baselines: bool,
+) -> ColocationReport:
     engine = build_colocation(specs, policy_name, config, scheduler, qos)
     engine.prefill()
     report = engine.run()
@@ -153,20 +211,16 @@ def run_colocation(
     return report
 
 
-def run_colocation_sweep(
+def colocation_sweep_jobs(
     tenant_counts=TENANT_COUNTS,
     schedulers=SCHEDULER_NAMES,
     policy_name: str = "neomem",
     config: ExperimentConfig = DEFAULT_CONFIG,
     qos: QosConfig | None = None,
     mix=DEFAULT_MIX,
-) -> list[dict]:
-    """Sweep tenant count x scheduler; one summary row per run.
-
-    Rows carry fairness, mean/worst slowdown and the per-tenant
-    slowdowns, which is what the acceptance experiment reports.
-    """
-    rows: list[dict] = []
+) -> list[JobSpec]:
+    """The (tenant count x scheduler) sweep as JobSpecs, in sweep order."""
+    jobs: list[JobSpec] = []
     for num_tenants in tenant_counts:
         specs = make_tenant_specs(num_tenants, config, mix=mix)
         # weighted/priority disciplines need non-uniform tenants to
@@ -182,31 +236,62 @@ def run_colocation_sweep(
             for i, spec in enumerate(specs)
         ]
         for scheduler in schedulers:
-            report = run_colocation(
-                shaped if scheduler != "round-robin" else specs,
-                policy_name,
-                config,
-                scheduler,
-                qos,
+            jobs.append(
+                colocation_job(
+                    shaped if scheduler != "round-robin" else specs,
+                    policy_name,
+                    config,
+                    scheduler,
+                    qos,
+                    tag=f"{num_tenants}x{scheduler}",
+                )
             )
-            row = report.summary()
-            row["slowdowns"] = report.slowdowns
-            rows.append(row)
+    return jobs
+
+
+def run_colocation_sweep(
+    tenant_counts=TENANT_COUNTS,
+    schedulers=SCHEDULER_NAMES,
+    policy_name: str = "neomem",
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    qos: QosConfig | None = None,
+    mix=DEFAULT_MIX,
+    *,
+    executor: SweepExecutor | None = None,
+    workers: int | None = None,
+) -> list[dict]:
+    """Sweep tenant count x scheduler; one summary row per run.
+
+    Rows carry fairness, mean/worst slowdown and the per-tenant
+    slowdowns, which is what the acceptance experiment reports.
+    """
+    jobs = colocation_sweep_jobs(
+        tenant_counts, schedulers, policy_name, config, qos, mix
+    )
+    reports = resolve_executor(executor, workers).run(jobs)
+    rows: list[dict] = []
+    for report in reports:
+        row = report.summary()
+        row["slowdowns"] = report.slowdowns
+        rows.append(row)
     return rows
 
 
 def format_colocation(rows: list[dict]) -> str:
     """Render sweep rows as the table the harness prints."""
-    header = (
-        f"{'tenants':>7}  {'scheduler':<14}  {'policy':<20}  "
-        f"{'fairness':>8}  {'mean sld':>8}  {'worst sld':>9}"
+    from repro.experiments.reporting import format_table
+
+    return format_table(
+        ["tenants", "scheduler", "policy", "fairness", "mean sld", "worst sld"],
+        [
+            (
+                row["tenants"],
+                row["scheduler"],
+                row["policy"],
+                row.get("fairness", float("nan")),
+                row.get("mean_slowdown", float("nan")),
+                row.get("worst_slowdown", float("nan")),
+            )
+            for row in rows
+        ],
     )
-    lines = [header, "-" * len(header)]
-    for row in rows:
-        lines.append(
-            f"{row['tenants']:>7d}  {row['scheduler']:<14}  {row['policy']:<20}  "
-            f"{row.get('fairness', float('nan')):>8.3f}  "
-            f"{row.get('mean_slowdown', float('nan')):>8.2f}  "
-            f"{row.get('worst_slowdown', float('nan')):>9.2f}"
-        )
-    return "\n".join(lines)

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
-from repro.experiments.runner import build_workload, run_one
+from repro.experiments.sweep import JobSpec, SweepExecutor, resolve_executor
 from repro.memsim.tiers import CXL_DRAM_IDEAL, CXL_DRAM_PROTO, DDR5_LOCAL
 from repro.workloads import BENCHMARKS
 
@@ -38,26 +38,34 @@ def run_fig03a() -> list[LatencyRung]:
     return rungs
 
 
-def run_fig03b(
+def fig03b_jobs(
     config: ExperimentConfig = DEFAULT_CONFIG, workloads=BENCHMARKS
+) -> list[JobSpec]:
+    """Two jobs per workload: fast-tier-only and slow-tier-only binds."""
+    jobs: list[JobSpec] = []
+    for name in workloads:
+        # everything fits the fast tier / everything lands on CXL
+        jobs.append(JobSpec(name, "first-touch", config.with_ratio(1000, 1), tag=f"{name}/fast"))
+        jobs.append(JobSpec(name, "first-touch", config.with_ratio(1, 1000), tag=f"{name}/slow"))
+    return jobs
+
+
+def run_fig03b(
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    workloads=BENCHMARKS,
+    *,
+    executor: SweepExecutor | None = None,
+    workers: int | None = None,
 ) -> dict[str, float]:
     """Slowdown (%) of slow-tier-only vs fast-tier-only execution.
 
     Implemented as the paper does: bind the workload's memory to one
     tier by sizing the other to (almost) nothing, with no migration.
     """
+    reports = resolve_executor(executor, workers).run(fig03b_jobs(config, workloads))
     slowdowns: dict[str, float] = {}
-    for name in workloads:
-        fast_only = run_one(
-            name,
-            "first-touch",
-            config.with_ratio(1000, 1),  # everything fits the fast tier
-        )
-        slow_only = run_one(
-            name,
-            "first-touch",
-            config.with_ratio(1, 1000),  # everything lands on CXL
-        )
+    for i, name in enumerate(workloads):
+        fast_only, slow_only = reports[2 * i], reports[2 * i + 1]
         slowdowns[name] = (slow_only.total_time_s / fast_only.total_time_s - 1.0) * 100.0
     return slowdowns
 

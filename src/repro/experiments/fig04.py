@@ -19,7 +19,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
-from repro.experiments.runner import build_engine, build_workload, warm_first_touch
+from repro.experiments.runner import workload_pages
+from repro.experiments.sweep import JobSpec, SweepExecutor, resolve_executor
 from repro.memsim.cache import Cache, CacheHierarchy
 from repro.memsim.tlb import TLB
 from repro.profilers.damon import DamonProfiler
@@ -53,43 +54,85 @@ class FrontierPoint:
     overhead_percent: float
 
 
+# -- policy factories (JobSpec.policy_factory dotted-path targets) -----
+def _profile_damon(num_pages: int, config, *, num_regions, sample_interval_s):
+    return ProfileOnlyPolicy(
+        DamonProfiler(
+            num_pages,
+            num_regions=min(num_regions, num_pages),
+            sample_interval_s=sample_interval_s,
+        )
+    )
+
+
+def _profile_pebs(num_pages: int, config, *, sample_interval):
+    return ProfileOnlyPolicy(PebsProfiler(num_pages, sample_interval=sample_interval))
+
+
+def _profile_none(num_pages: int, config):
+    return ProfileOnlyPolicy(None)
+
+
+def _profile_neoprof(num_pages: int, config):
+    from repro.profilers.neoprof_adapter import NeoProfProfiler
+
+    return ProfileOnlyPolicy(NeoProfProfiler(config.neoprof_config()))
+
+
+def _profiling_overhead_percent(report) -> float:
+    return report.total_profiling_overhead_ns / max(report.total_time_ns, 1.0) * 100
+
+
 def run_fig04a(
     config: ExperimentConfig = DEFAULT_CONFIG,
     intervals_ms=(0.2, 0.8, 3.2),
     region_counts=(64, 256, 1024, 4096),
     workload_name: str = "gups",
+    *,
+    executor: SweepExecutor | None = None,
+    workers: int | None = None,
 ) -> list[FrontierPoint]:
     """DAMON frontier: overhead vs (interval, regions)."""
-    points = []
-    for interval_ms in intervals_ms:
-        for regions in region_counts:
-            workload = build_workload(workload_name, config)
-            profiler = DamonProfiler(
-                workload.num_pages,
-                num_regions=min(regions, workload.num_pages),
-                sample_interval_s=interval_ms * 1e-3,
-            )
-            engine = build_engine(workload, "custom", config, policy=ProfileOnlyPolicy(profiler))
-            warm_first_touch(engine)
-            report = engine.run()
-            overhead = report.total_profiling_overhead_ns / report.total_time_ns * 100
-            points.append(FrontierPoint(interval_ms, regions, overhead))
-    return points
+    grid = [(i, r) for i in intervals_ms for r in region_counts]
+    jobs = [
+        JobSpec(
+            workload_name,
+            "profile-damon",
+            config,
+            policy_factory="repro.experiments.fig04:_profile_damon",
+            policy_kwargs={
+                "num_regions": regions,
+                "sample_interval_s": interval_ms * 1e-3,
+            },
+        )
+        for interval_ms, regions in grid
+    ]
+    reports = resolve_executor(executor, workers).run(jobs)
+    return [
+        FrontierPoint(interval_ms, regions, _profiling_overhead_percent(report))
+        for (interval_ms, regions), report in zip(grid, reports)
+    ]
 
 
-def run_fig04a_neoprof_point(config: ExperimentConfig = DEFAULT_CONFIG) -> FrontierPoint:
+def run_fig04a_neoprof_point(
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    *,
+    executor: SweepExecutor | None = None,
+    workers: int | None = None,
+) -> FrontierPoint:
     """NeoProf's corner: per-access resolution at ~zero CPU overhead."""
-    from repro.profilers.neoprof_adapter import NeoProfProfiler
-
-    workload = build_workload("gups", config)
-    profiler = NeoProfProfiler(config.neoprof_config())
-    engine = build_engine(workload, "custom", config, policy=ProfileOnlyPolicy(profiler))
-    warm_first_touch(engine)
-    report = engine.run()
-    overhead = report.total_profiling_overhead_ns / max(report.total_time_ns, 1.0) * 100
+    job = JobSpec(
+        "gups",
+        "profile-neoprof",
+        config,
+        policy_factory="repro.experiments.fig04:_profile_neoprof",
+    )
+    report = resolve_executor(executor, workers).run([job])[0]
     # NeoProf tracks every access to every page: 4 KB space resolution,
     # per-request time resolution -> reported as region count = RSS.
-    return FrontierPoint(0.0, workload.num_pages, overhead)
+    return FrontierPoint(
+        0.0, workload_pages("gups", config), _profiling_overhead_percent(report)
+    )
 
 
 # ----------------------------------------------------------------------
@@ -164,19 +207,33 @@ def run_fig04c(
     config: ExperimentConfig = DEFAULT_CONFIG,
     sample_intervals=(10, 100, 397, 1000, 5000, 10000),
     workload_name: str = "gups",
+    *,
+    executor: SweepExecutor | None = None,
+    workers: int | None = None,
 ) -> dict[int, float]:
     """PEBS slowdown (%) vs sampling interval (Fig. 4-(c))."""
-    baseline = None
-    slowdowns: dict[int, float] = {}
-    workload = build_workload(workload_name, config)
-    engine = build_engine(workload, "custom", config, policy=ProfileOnlyPolicy(None))
-    warm_first_touch(engine)
-    baseline = engine.run().total_time_ns
-    for interval in sample_intervals:
-        workload = build_workload(workload_name, config)
-        profiler = PebsProfiler(workload.num_pages, sample_interval=interval)
-        engine = build_engine(workload, "custom", config, policy=ProfileOnlyPolicy(profiler))
-        warm_first_touch(engine)
-        total = engine.run().total_time_ns
-        slowdowns[interval] = (total / baseline - 1.0) * 100.0
-    return slowdowns
+    jobs = [
+        JobSpec(
+            workload_name,
+            "profile-none",
+            config,
+            policy_factory="repro.experiments.fig04:_profile_none",
+            tag="baseline",
+        )
+    ]
+    jobs += [
+        JobSpec(
+            workload_name,
+            "profile-pebs",
+            config,
+            policy_factory="repro.experiments.fig04:_profile_pebs",
+            policy_kwargs={"sample_interval": interval},
+        )
+        for interval in sample_intervals
+    ]
+    reports = resolve_executor(executor, workers).run(jobs)
+    baseline = reports[0].total_time_ns
+    return {
+        interval: (report.total_time_ns / baseline - 1.0) * 100.0
+        for interval, report in zip(sample_intervals, reports[1:])
+    }

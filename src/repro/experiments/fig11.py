@@ -12,7 +12,8 @@ harnesses can share one sweep.
 from __future__ import annotations
 
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
-from repro.experiments.runner import geomean, run_one
+from repro.experiments.runner import geomean
+from repro.experiments.sweep import JobSpec, SweepExecutor, resolve_executor
 from repro.memsim.metrics import SimulationReport
 from repro.workloads import BENCHMARKS
 
@@ -20,18 +21,36 @@ from repro.workloads import BENCHMARKS
 SYSTEMS = ("neomem", "pebs", "pte-scan", "autonuma", "tpp", "first-touch")
 
 
+def fig11_jobs(
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    workloads=BENCHMARKS,
+    systems=SYSTEMS,
+) -> list[JobSpec]:
+    """The (workload x system) grid as JobSpecs, in grid order."""
+    return [
+        JobSpec(workload, system, config)
+        for workload in workloads
+        for system in systems
+    ]
+
+
 def run_fig11(
     config: ExperimentConfig = DEFAULT_CONFIG,
     workloads=BENCHMARKS,
     systems=SYSTEMS,
+    *,
+    executor: SweepExecutor | None = None,
+    workers: int | None = None,
 ) -> dict[str, dict[str, SimulationReport]]:
     """Run the full grid; returns reports[workload][system]."""
-    reports: dict[str, dict[str, SimulationReport]] = {}
-    for workload in workloads:
-        reports[workload] = {}
-        for system in systems:
-            reports[workload][system] = run_one(workload, system, config)
-    return reports
+    results = resolve_executor(executor, workers).run(
+        fig11_jobs(config, workloads, systems)
+    )
+    flat = iter(results)
+    return {
+        workload: {system: next(flat) for system in systems}
+        for workload in workloads
+    }
 
 
 def normalized_performance(

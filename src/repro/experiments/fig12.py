@@ -10,29 +10,48 @@ hot sets fit even the smallest fast tier.
 from __future__ import annotations
 
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
-from repro.experiments.runner import run_one
+from repro.experiments.sweep import JobSpec, SweepExecutor, resolve_executor
 from repro.workloads import BENCHMARKS
 
 RATIOS = ((1, 2), (1, 4), (1, 8))
 SYSTEMS = ("neomem", "pebs")
 
 
+def fig12_jobs(
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    workloads=BENCHMARKS,
+    ratios=RATIOS,
+    systems=SYSTEMS,
+) -> list[JobSpec]:
+    """The (workload x ratio x system) grid as JobSpecs, in grid order."""
+    return [
+        JobSpec(workload, system, config.with_ratio(*ratio), tag=f"1:{ratio[1]}")
+        for workload in workloads
+        for ratio in ratios
+        for system in systems
+    ]
+
+
 def run_fig12(
     config: ExperimentConfig = DEFAULT_CONFIG,
     workloads=BENCHMARKS,
     ratios=RATIOS,
+    *,
+    executor: SweepExecutor | None = None,
+    workers: int | None = None,
 ) -> dict[str, dict[tuple[int, int], dict[str, float]]]:
     """Returns runtimes[workload][ratio][system] in seconds."""
-    results: dict[str, dict[tuple[int, int], dict[str, float]]] = {}
-    for workload in workloads:
-        results[workload] = {}
-        for ratio in ratios:
-            ratio_config = config.with_ratio(*ratio)
-            results[workload][ratio] = {
-                system: run_one(workload, system, ratio_config).total_time_s
-                for system in SYSTEMS
-            }
-    return results
+    reports = resolve_executor(executor, workers).run(
+        fig12_jobs(config, workloads, ratios)
+    )
+    flat = iter(reports)
+    return {
+        workload: {
+            ratio: {system: next(flat).total_time_s for system in SYSTEMS}
+            for ratio in ratios
+        }
+        for workload in workloads
+    }
 
 
 def normalized_to_pebs(results) -> dict[str, dict[tuple[int, int], float]]:

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
-from repro.experiments.runner import build_engine, build_workload, warm_first_touch
+from repro.experiments.sweep import JobSpec, SweepExecutor, resolve_executor
 from repro.memsim.metrics import SimulationReport
 
 #: fixed thresholds compared against the dynamic policy.  The paper
@@ -40,47 +40,83 @@ class PageRankProfile:
     histogram_strips: list[tuple[float, np.ndarray]] = field(default_factory=list)
 
 
-def run_pagerank(policy_name: str, config: ExperimentConfig = DEFAULT_CONFIG) -> PageRankProfile:
-    """One instrumented Page-Rank run (dynamic or fixed threshold)."""
-    workload = build_workload(
-        "pagerank", config, total_batches=None, **PAGERANK_KWARGS
-    )
-    engine = build_engine(workload, policy_name, config)
-    warm_first_touch(engine)
-    report = engine.run()
-    report.annotations["policy_object"] = engine.policy
+def extract_pagerank_timelines(report: SimulationReport, engine) -> None:
+    """Worker-side extractor: reduce the live engine to picklable data.
 
-    # per-iteration wall time: sum epoch durations over each iteration's
-    # batch range (the workload's batch index == the engine's epoch)
-    iteration_times = []
+    Stores per-iteration wall times (summing epoch durations over each
+    iteration's batch range — the workload's batch index == the
+    engine's epoch) and, for NeoMem daemons, the threshold, bandwidth
+    and histogram timelines as plain lists/arrays.
+    """
+    workload = engine.workload
     durations = report.series("duration_ns")
+    iteration_times = []
     for iteration in range(workload.iterations):
         batches = workload.batches_of_iteration(iteration)
         time_ns = sum(durations[b] for b in batches if b < len(durations))
         iteration_times.append(time_ns * 1e-9)
+    report.annotations["iteration_times_s"] = iteration_times
+    daemon = engine.policy
+    if hasattr(daemon, "threshold_timeline"):
+        report.annotations["threshold_timeline"] = list(daemon.threshold_timeline)
+        report.annotations["bandwidth_timeline"] = list(daemon.bandwidth_timeline)
+        report.annotations["histogram_strips"] = list(daemon.histogram_timeline)
 
-    daemon = report.annotations.get("policy_object")
-    profile = PageRankProfile(
+
+def pagerank_job(policy_name: str, config: ExperimentConfig = DEFAULT_CONFIG) -> JobSpec:
+    """One instrumented Page-Rank run as a JobSpec."""
+    return JobSpec(
+        "pagerank",
+        policy_name,
+        config,
+        workload_overrides={"total_batches": None, **PAGERANK_KWARGS},
+        extractor="repro.experiments.fig14:extract_pagerank_timelines",
+    )
+
+
+def profile_from_report(policy_name: str, report: SimulationReport) -> PageRankProfile:
+    """Rebuild a :class:`PageRankProfile` from an extracted report."""
+    return PageRankProfile(
         policy_name=policy_name,
         report=report,
-        iteration_times_s=iteration_times,
+        iteration_times_s=list(report.annotations.get("iteration_times_s", [])),
+        threshold_timeline=list(report.annotations.get("threshold_timeline", [])),
+        bandwidth_timeline=list(report.annotations.get("bandwidth_timeline", [])),
+        histogram_strips=list(report.annotations.get("histogram_strips", [])),
     )
-    if daemon is not None and hasattr(daemon, "threshold_timeline"):
-        profile.threshold_timeline = list(daemon.threshold_timeline)
-        profile.bandwidth_timeline = list(daemon.bandwidth_timeline)
-        profile.histogram_strips = list(daemon.histogram_timeline)
-    return profile
+
+
+def run_pagerank(
+    policy_name: str,
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    *,
+    executor: SweepExecutor | None = None,
+    workers: int | None = None,
+) -> PageRankProfile:
+    """One instrumented Page-Rank run (dynamic or fixed threshold)."""
+    report = resolve_executor(executor, workers).run(
+        [pagerank_job(policy_name, config)]
+    )[0]
+    return profile_from_report(policy_name, report)
 
 
 def run_fig14a(
     config: ExperimentConfig = DEFAULT_CONFIG,
     fixed_thresholds=FIXED_THRESHOLDS,
+    *,
+    executor: SweepExecutor | None = None,
+    workers: int | None = None,
 ) -> dict[str, PageRankProfile]:
-    """Dynamic vs fixed-theta per-iteration times."""
-    profiles = {"dynamic": run_pagerank("neomem", config)}
+    """Dynamic vs fixed-theta per-iteration times (one sweep)."""
+    names = {"dynamic": "neomem"}
     for theta in fixed_thresholds:
-        profiles[f"theta={theta}"] = run_pagerank(f"neomem-fixed-{theta}", config)
-    return profiles
+        names[f"theta={theta}"] = f"neomem-fixed-{theta}"
+    jobs = [pagerank_job(policy, config) for policy in names.values()]
+    reports = resolve_executor(executor, workers).run(jobs)
+    return {
+        label: profile_from_report(policy, report)
+        for (label, policy), report in zip(names.items(), reports)
+    }
 
 
 def dynamic_wins(profiles: dict[str, PageRankProfile]) -> bool:

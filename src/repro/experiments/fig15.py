@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
 from repro.experiments.fig14 import PAGERANK_KWARGS
-from repro.experiments.runner import build_engine, build_workload, warm_first_touch
+from repro.experiments.sweep import JobSpec, SweepExecutor, resolve_executor
 
 #: scaled migration intervals; x8 steps like the paper's 10 ms -> 5 s
 MIGRATION_INTERVALS_S = (1e-4, 4e-4, 1.6e-3, 6.4e-3, 2.56e-2)
@@ -29,33 +29,62 @@ QUOTAS_BYTES_PER_S = (5e8, 1e9, 2e9, 4e9, 8e9, 1.6e10, 3.2e10, 6.4e10)
 SKETCH_WIDTHS = (4096, 8192, 16384, 32768, 65536)
 
 
-def _run_pagerank_neomem(config: ExperimentConfig, **policy_kwargs) -> float:
-    workload = build_workload("pagerank", config, total_batches=None, **PAGERANK_KWARGS)
-    engine = build_engine(workload, "neomem", config, policy_kwargs=policy_kwargs)
-    warm_first_touch(engine)
-    return engine.run().total_time_s
+def _pagerank_neomem_job(
+    config: ExperimentConfig, tag: str = "", **policy_kwargs
+) -> JobSpec:
+    """One Page-Rank/NeoMem sensitivity point as a JobSpec."""
+    return JobSpec(
+        "pagerank",
+        "neomem",
+        config,
+        workload_overrides={"total_batches": None, **PAGERANK_KWARGS},
+        policy_kwargs=policy_kwargs,
+        tag=tag,
+    )
 
 
-def run_fig15a(config: ExperimentConfig = DEFAULT_CONFIG, intervals=MIGRATION_INTERVALS_S):
-    """Runtime vs migration interval (normalized to the best)."""
-    times = {}
-    for interval in intervals:
-        cfg_kwargs = {"neomem_config": config.neomem_config(migration_interval_s=interval)}
-        times[interval] = _run_pagerank_neomem(config, **cfg_kwargs)
+def _normalized_runtimes(points, jobs, executor, workers) -> dict:
+    """Execute the jobs; return point -> best_time / time."""
+    reports = resolve_executor(executor, workers).run(jobs)
+    times = {point: report.total_time_s for point, report in zip(points, reports)}
     best = min(times.values())
-    return {interval: best / t for interval, t in times.items()}
+    return {point: best / t for point, t in times.items()}
 
 
-def run_fig15b(config: ExperimentConfig = DEFAULT_CONFIG, quotas=QUOTAS_BYTES_PER_S):
+def run_fig15a(
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    intervals=MIGRATION_INTERVALS_S,
+    *,
+    executor: SweepExecutor | None = None,
+    workers: int | None = None,
+):
+    """Runtime vs migration interval (normalized to the best)."""
+    jobs = [
+        _pagerank_neomem_job(
+            config,
+            tag=f"interval={interval:g}",
+            neomem_config=config.neomem_config(migration_interval_s=interval),
+        )
+        for interval in intervals
+    ]
+    return _normalized_runtimes(intervals, jobs, executor, workers)
+
+
+def run_fig15b(
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    quotas=QUOTAS_BYTES_PER_S,
+    *,
+    executor: SweepExecutor | None = None,
+    workers: int | None = None,
+):
     """Runtime vs migration quota (normalized to the best)."""
     from dataclasses import replace
 
-    times = {}
-    for quota in quotas:
-        cfg = replace(config, quota_bytes_per_s=quota)
-        times[quota] = _run_pagerank_neomem(cfg)
-    best = min(times.values())
-    return {quota: best / t for quota, t in times.items()}
+    jobs = [
+        _pagerank_neomem_job(replace(config, quota_bytes_per_s=quota))
+        for quota in quotas
+    ]
+    return _normalized_runtimes(quotas, jobs, executor, workers)
 
 
 def run_fig15c(
@@ -97,11 +126,20 @@ def run_fig15c(
     return bounds
 
 
-def run_fig15d(config: ExperimentConfig = DEFAULT_CONFIG, widths=SKETCH_WIDTHS):
+def run_fig15d(
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    widths=SKETCH_WIDTHS,
+    *,
+    executor: SweepExecutor | None = None,
+    workers: int | None = None,
+):
     """End-to-end performance vs sketch width (normalized to best)."""
-    times = {}
-    for width in widths:
-        kwargs = {"neoprof_config": config.neoprof_config(sketch_width=width)}
-        times[width] = _run_pagerank_neomem(config, **kwargs)
-    best = min(times.values())
-    return {width: best / t for width, t in times.items()}
+    jobs = [
+        _pagerank_neomem_job(
+            config,
+            tag=f"W={width}",
+            neoprof_config=config.neoprof_config(sketch_width=width),
+        )
+        for width in widths
+    ]
+    return _normalized_runtimes(widths, jobs, executor, workers)

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
-from repro.experiments.runner import build_engine, build_workload, warm_first_touch
+from repro.experiments.sweep import JobSpec, SweepExecutor, resolve_executor
 from repro.memsim.metrics import SimulationReport
 
 #: profiling methods compared, with the paper's curve labels
@@ -53,32 +53,51 @@ class ConvergenceCurve:
         return None
 
 
+def fig16_jobs(
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    methods: dict[str, str] | None = None,
+    total_batches: int = 96,
+    relocate_at: int = 48,
+) -> list[JobSpec]:
+    """One relocating-GUPS job per profiling method, in method order."""
+    methods = methods or METHODS
+    return [
+        JobSpec(
+            "gups",
+            policy_name,
+            config,
+            workload_overrides={
+                "total_batches": total_batches,
+                "relocate_at": relocate_at,
+            },
+            tag=label,
+        )
+        for label, policy_name in methods.items()
+    ]
+
+
 def run_fig16(
     config: ExperimentConfig = DEFAULT_CONFIG,
     methods: dict[str, str] | None = None,
     total_batches: int = 96,
     relocate_at: int = 48,
+    *,
+    executor: SweepExecutor | None = None,
+    workers: int | None = None,
 ) -> dict[str, ConvergenceCurve]:
     """Run the convergence study; returns label -> curve."""
     methods = methods or METHODS
-    curves: dict[str, ConvergenceCurve] = {}
-    for label, policy_name in methods.items():
-        workload = build_workload(
-            "gups",
-            config,
-            total_batches=total_batches,
-            relocate_at=relocate_at,
-        )
-        engine = build_engine(workload, policy_name, config)
-        warm_first_touch(engine)
-        report = engine.run()
-        curves[label] = ConvergenceCurve(
+    jobs = fig16_jobs(config, methods, total_batches, relocate_at)
+    reports = resolve_executor(executor, workers).run(jobs)
+    return {
+        label: ConvergenceCurve(
             label=label,
             throughput=[e.throughput_aps for e in report.epochs],
             relocate_epoch=relocate_at,
             report=report,
         )
-    return curves
+        for label, report in zip(methods, reports)
+    }
 
 
 def neoprof_converges_fastest(curves: dict[str, ConvergenceCurve]) -> bool:

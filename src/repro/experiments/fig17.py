@@ -10,19 +10,37 @@ the pages NeoMem does under fast-changing access patterns).
 from __future__ import annotations
 
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
-from repro.experiments.runner import geomean, run_one
+from repro.experiments.runner import geomean
+from repro.experiments.sweep import JobSpec, SweepExecutor, resolve_executor
 from repro.memsim.metrics import SimulationReport
 from repro.workloads import BENCHMARKS
 
 SYSTEMS = ("neomem", "memtis")
 
 
+def fig17_jobs(
+    config: ExperimentConfig = DEFAULT_CONFIG, workloads=BENCHMARKS, systems=SYSTEMS
+) -> list[JobSpec]:
+    """The (workload x system) comparison grid as JobSpecs."""
+    return [
+        JobSpec(workload, system, config)
+        for workload in workloads
+        for system in systems
+    ]
+
+
 def run_fig17(
-    config: ExperimentConfig = DEFAULT_CONFIG, workloads=BENCHMARKS
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    workloads=BENCHMARKS,
+    *,
+    executor: SweepExecutor | None = None,
+    workers: int | None = None,
 ) -> dict[str, dict[str, SimulationReport]]:
     """Run NeoMem and Memtis over the benchmark suite."""
+    reports = resolve_executor(executor, workers).run(fig17_jobs(config, workloads))
+    flat = iter(reports)
     return {
-        workload: {system: run_one(workload, system, config) for system in SYSTEMS}
+        workload: {system: next(flat) for system in SYSTEMS}
         for workload in workloads
     }
 

@@ -10,7 +10,7 @@ zero) versus the identical run with no policy at all.
 from __future__ import annotations
 
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
-from repro.experiments.runner import build_engine, build_workload, warm_first_touch
+from repro.experiments.sweep import JobSpec, SweepExecutor, resolve_executor
 from repro.profilers.neoprof_adapter import NeoProfProfiler
 
 
@@ -48,20 +48,37 @@ class ProfilingOnlyNeoMem:
         return overhead
 
 
-def run_overhead(config: ExperimentConfig = DEFAULT_CONFIG) -> dict[str, float]:
+def _profiling_only_policy(num_pages: int, config):
+    """Policy factory for the profiling-enabled arm of the comparison."""
+    return ProfilingOnlyNeoMem(config)
+
+
+def overhead_jobs(config: ExperimentConfig = DEFAULT_CONFIG) -> list[JobSpec]:
+    """The two arms: no policy at all vs profiling-only NeoMem."""
+    return [
+        JobSpec("gups", "first-touch", config, tag="baseline"),
+        JobSpec(
+            "gups",
+            "neoprof-profiling-only",
+            config,
+            policy_factory="repro.experiments.overhead:_profiling_only_policy",
+            tag="profiled",
+        ),
+    ]
+
+
+def run_overhead(
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    *,
+    executor: SweepExecutor | None = None,
+    workers: int | None = None,
+) -> dict[str, float]:
     """Return baseline/profiled runtimes and the slowdown percentage."""
-    workload = build_workload("gups", config)
-    engine = build_engine(workload, "first-touch", config)
-    warm_first_touch(engine)
-    baseline_s = engine.run().total_time_s
-
-    workload = build_workload("gups", config)
-    engine = build_engine(
-        workload, "custom", config, policy=ProfilingOnlyNeoMem(config)
+    baseline, profiled = resolve_executor(executor, workers).run(
+        overhead_jobs(config)
     )
-    warm_first_touch(engine)
-    profiled_s = engine.run().total_time_s
-
+    baseline_s = baseline.total_time_s
+    profiled_s = profiled.total_time_s
     slowdown = (profiled_s / baseline_s - 1.0) * 100.0
     return {
         "baseline_s": baseline_s,

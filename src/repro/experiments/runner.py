@@ -198,6 +198,7 @@ def run_one(
     engine_overrides: dict | None = None,
     prefill: bool = True,
     keep_engine: bool = False,
+    policy_factory=None,
 ) -> SimulationReport:
     """Run one (workload, policy) experiment and return its report.
 
@@ -206,13 +207,25 @@ def run_one(
             policy) in ``report.annotations`` for post-mortem inspection.
             Off by default: the engine pins every numpy array of the
             machine model, which adds up fast across parameter sweeps
-            that only need the report's counters.
+            that only need the report's counters.  Reports carrying an
+            engine cannot cross the sweep-executor boundary — use a
+            ``JobSpec.extractor`` there instead.
+        policy_factory: Optional ``factory(num_pages, config,
+            **policy_kwargs)`` building the policy instead of the
+            registry — the hook the sweep layer uses for experiment-
+            local policies (profile-only harnesses).  Factory policies
+            are used as built: ``overhead_scale`` is not applied, same
+            as passing ``policy=`` to :func:`build_engine`.
     """
     workload = build_workload(workload_name, config, **(workload_overrides or {}))
+    policy = None
+    if policy_factory is not None:
+        policy = policy_factory(workload.num_pages, config, **(policy_kwargs or {}))
     engine = build_engine(
         workload,
         policy_name,
         config,
+        policy=policy,
         policy_kwargs=policy_kwargs,
         engine_overrides=engine_overrides,
     )

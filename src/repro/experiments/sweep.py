@@ -1,0 +1,441 @@
+"""Declarative sweep subsystem: JobSpecs, process-pool execution, caching.
+
+Every figure/table reproduction is a sweep over (workload x policy x
+parameter) points, and every point is one self-contained simulation.
+This module turns that structure into data:
+
+* :class:`JobSpec` — a serializable description of one experiment
+  point: workload, policy, configuration, seed, and (for non-standard
+  runs) dotted-path references to a policy factory, a result extractor,
+  or an alternative runner.  A spec fully determines its result.
+* :class:`SweepExecutor` — runs a list of JobSpecs, either serially
+  (the deterministic default) or fanned out over a
+  ``ProcessPoolExecutor``.  Worker count comes from the ``workers=``
+  argument or the ``REPRO_SWEEP_WORKERS`` environment variable.
+* an on-disk result cache keyed by :func:`job_key` — a stable hash of
+  the spec's canonical JSON — so repeated benchmark runs skip completed
+  points.  Enable it with ``cache_dir=`` or ``REPRO_SWEEP_CACHE``.
+
+Because jobs cross process boundaries, results must pickle.  The
+executor verifies this *before* handing a result back (or to the pool),
+so a policy that stashes an engine in ``report.annotations`` produces a
+:class:`SweepSerializationError` naming the offending keys instead of a
+raw ``PicklingError`` from the pool machinery.  Experiments that need
+post-run object state (profiler counters, daemon timelines) declare an
+``extractor`` — a dotted-path function running *in the worker*, with
+the live engine, that reduces that state to plain picklable data.
+
+Determinism: a spec's seed is part of its identity and the simulation
+is seeded end-to-end, so the same JobSpec list produces bit-identical
+reports from the serial and process-pool executors — a property the
+test suite pins down.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import importlib
+import json
+import os
+import pickle
+from collections.abc import Mapping, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
+from repro.experiments.runner import run_one
+
+__all__ = [
+    "JobSpec",
+    "SweepExecutor",
+    "SweepStats",
+    "SweepError",
+    "SweepSerializationError",
+    "job_key",
+    "resolve",
+    "resolve_executor",
+    "run_single",
+    "WORKERS_ENV",
+    "CACHE_ENV",
+]
+
+#: environment knobs honoured by SweepExecutor's defaults
+WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+CACHE_ENV = "REPRO_SWEEP_CACHE"
+
+#: bump to invalidate every cached result (part of the key preimage)
+CACHE_SCHEMA_VERSION = 1
+
+#: the standard runner: one run_one() invocation
+DEFAULT_RUNNER = "repro.experiments.sweep:run_single"
+
+
+class SweepError(RuntimeError):
+    """A sweep could not be described or executed."""
+
+
+class SweepSerializationError(SweepError):
+    """A job produced a result that cannot cross the process/cache
+    boundary (typically a live engine or policy in ``annotations``)."""
+
+
+# ----------------------------------------------------------------------
+# JobSpec
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class JobSpec:
+    """One experiment point, fully described as data.
+
+    The default runner reproduces ``run_one(workload, policy, config,
+    ...)`` exactly.  Non-standard experiments plug in behaviour by
+    *name* (dotted ``"module:function"`` paths), never by object, so a
+    spec always pickles and always hashes:
+
+    * ``policy_factory(num_pages, config, **policy_kwargs)`` builds the
+      policy instead of the registry (profile-only harnesses);
+    * ``extractor(report, engine)`` runs in the worker after the
+      simulation and must reduce any engine/policy state it needs into
+      picklable ``report.annotations`` entries;
+    * ``runner(spec)`` replaces the whole execution (co-location runs,
+      ablation streams) and may return any picklable result.
+
+    ``tag`` is a caller-side label for routing results; it is *not*
+    part of the job's identity, so differently-tagged but otherwise
+    equal specs share one cache entry.
+    """
+
+    workload: str = ""
+    policy: str = ""
+    config: ExperimentConfig = DEFAULT_CONFIG
+    #: overrides config.seed when set (the sweep axis for replicas)
+    seed: int | None = None
+    workload_overrides: dict = field(default_factory=dict)
+    policy_kwargs: dict = field(default_factory=dict)
+    engine_overrides: dict = field(default_factory=dict)
+    prefill: bool = True
+    policy_factory: str | None = None
+    extractor: str | None = None
+    runner: str = DEFAULT_RUNNER
+    runner_kwargs: dict = field(default_factory=dict)
+    tag: str = ""
+
+    def resolved_config(self) -> ExperimentConfig:
+        """The experiment configuration with the spec's seed applied."""
+        if self.seed is None:
+            return self.config
+        return replace(self.config, seed=self.seed)
+
+    def label(self) -> str:
+        """Human-readable identity for error messages and logs."""
+        base = f"{self.workload or '?'}/{self.policy or '?'}"
+        return f"{base}[{self.tag}]" if self.tag else base
+
+
+# ----------------------------------------------------------------------
+# stable hashing
+# ----------------------------------------------------------------------
+def _canonical(obj):
+    """Reduce a JobSpec field value to canonical JSON-able data.
+
+    Dataclasses are tagged with their type name so two config classes
+    with coincidentally equal fields cannot collide.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        out = {"__type__": type(obj).__name__}
+        for f in dataclasses.fields(obj):
+            out[f.name] = _canonical(getattr(obj, f.name))
+        return out
+    if isinstance(obj, Mapping):
+        return {str(k): _canonical(v) for k, v in sorted(obj.items())}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if isinstance(obj, np.generic):
+        return obj.item()
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if obj is None or isinstance(obj, (str, int, float, bool)):
+        return obj
+    raise SweepError(
+        f"JobSpec fields must be plain data, got {type(obj).__name__}: {obj!r} "
+        "(pass callables as dotted 'module:function' paths instead)"
+    )
+
+
+def job_key(spec: JobSpec) -> str:
+    """Stable content hash of a JobSpec (the cache key).
+
+    ``tag`` is excluded — it labels results, it does not change them.
+    The repro version and a schema number salt the key so stale caches
+    invalidate across releases.
+    """
+    import repro  # deferred: repro/__init__ imports the experiments tier
+
+    payload = _canonical(dataclasses.replace(spec, tag=""))
+    payload["__cache_schema__"] = CACHE_SCHEMA_VERSION
+    payload["__repro_version__"] = repro.__version__
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:24]
+
+
+# ----------------------------------------------------------------------
+# dotted-path resolution and the standard runner
+# ----------------------------------------------------------------------
+def resolve(path: str):
+    """Resolve a ``"module:attribute"`` reference to the live object."""
+    module_name, _, attr = path.partition(":")
+    if not module_name or not attr:
+        raise SweepError(f"expected 'module:function', got {path!r}")
+    try:
+        module = importlib.import_module(module_name)
+        return getattr(module, attr)
+    except (ImportError, AttributeError) as exc:
+        raise SweepError(f"cannot resolve {path!r}: {exc}") from exc
+
+
+def run_single(spec: JobSpec):
+    """The default runner: one ``run_one`` invocation described by the
+    spec, with the extractor (if any) applied while the engine is live."""
+    config = spec.resolved_config()
+    factory = resolve(spec.policy_factory) if spec.policy_factory else None
+    report = run_one(
+        spec.workload,
+        spec.policy,
+        config,
+        workload_overrides=dict(spec.workload_overrides),
+        policy_kwargs=dict(spec.policy_kwargs),
+        engine_overrides=dict(spec.engine_overrides),
+        prefill=spec.prefill,
+        keep_engine=spec.extractor is not None,
+        policy_factory=factory,
+    )
+    if spec.extractor is not None:
+        engine = report.annotations.pop("engine")
+        report.annotations.pop("policy_object", None)
+        resolve(spec.extractor)(report, engine)
+    return report
+
+
+# ----------------------------------------------------------------------
+# result sanitization
+# ----------------------------------------------------------------------
+def _picklable(obj) -> bool:
+    try:
+        pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        return True
+    except Exception:
+        return False
+
+
+#: the run_one(keep_engine=True) contract keys — live machine objects
+#: that must never ride a report across the sweep boundary
+_KEEP_ENGINE_KEYS = ("engine", "policy_object")
+
+
+def _is_live_engine(value) -> bool:
+    from repro.memsim.engine import SimulationEngine
+
+    return isinstance(value, SimulationEngine)
+
+
+def _sanitize_result(result, spec: JobSpec, unpicklable: str):
+    """Guarantee a job result can cross the process/cache boundary.
+
+    Rejects reports still carrying ``run_one(keep_engine=True)`` state
+    and any annotation that does not pickle.  ``unpicklable="error"``
+    raises :class:`SweepSerializationError` naming the offending keys;
+    ``"strip"`` drops them and records the dropped names under
+    ``annotations["stripped_annotations"]``.
+
+    The happy path costs one pickle of the whole result; the
+    per-annotation scan only runs once something is already wrong.
+    """
+    annotations = getattr(result, "annotations", None)
+    if not isinstance(annotations, dict):
+        annotations = None
+
+    def handle(bad: list[str]) -> None:
+        if unpicklable == "strip":
+            for key in bad:
+                annotations.pop(key)
+            recorded = annotations.get("stripped_annotations", [])
+            annotations["stripped_annotations"] = sorted({*recorded, *bad})
+        else:
+            raise SweepSerializationError(
+                f"job {spec.label()}: annotations {bad} cannot cross the "
+                "sweep boundary (live engines/policies from run_one("
+                "keep_engine=True), or values that do not pickle) — use a "
+                "JobSpec.extractor to reduce them to plain data"
+            )
+
+    if annotations:
+        # live machine objects are rejected even when they pickle:
+        # shipping a whole machine model through pools and caches is a
+        # bug, not a result.  This scan is cheap (no serialization).
+        bad = sorted(
+            k for k, v in annotations.items()
+            if k in _KEEP_ENGINE_KEYS or _is_live_engine(v)
+        )
+        if bad:
+            handle(bad)
+    if _picklable(result):
+        return result
+    if annotations:
+        bad = sorted(k for k, v in annotations.items() if not _picklable(v))
+        if bad:
+            handle(bad)
+            if _picklable(result):
+                return result
+    raise SweepSerializationError(
+        f"job {spec.label()}: result of type {type(result).__name__} is not "
+        "picklable and cannot be returned from a sweep"
+    )
+
+
+def _execute_job(payload: tuple[JobSpec, str]):
+    """Process-pool entry point: run one spec and sanitize its result."""
+    spec, unpicklable = payload
+    result = resolve(spec.runner)(spec)
+    return _sanitize_result(result, spec, unpicklable)
+
+
+# ----------------------------------------------------------------------
+# executor
+# ----------------------------------------------------------------------
+#: sentinel distinguishing "no cache entry" from a cached None result
+_CACHE_MISS = object()
+
+
+@dataclass
+class SweepStats:
+    """Counters for one executor's lifetime (all ``run`` calls)."""
+
+    executed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    deduplicated: int = 0
+
+
+class SweepExecutor:
+    """Run JobSpecs serially or over a process pool, with caching.
+
+    Args:
+        workers: Process count.  ``None`` reads ``REPRO_SWEEP_WORKERS``,
+            defaulting to 1 (serial, deterministic, no pool overhead).
+        cache_dir: Result-cache directory.  ``None`` reads
+            ``REPRO_SWEEP_CACHE``; unset means no caching, and ``""``
+            forces caching off regardless of the environment.  Entries
+            are pickled results keyed by :func:`job_key`, written
+            atomically, safe to share between concurrent runs.
+        unpicklable: ``"error"`` (default) rejects results with
+            non-serializable annotations; ``"strip"`` drops the
+            offending keys instead.
+
+    Identical specs within one ``run`` call execute once and share the
+    result; results always come back in job order.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        cache_dir: str | os.PathLike | None = None,
+        unpicklable: str = "error",
+    ):
+        if workers is None:
+            env = os.environ.get(WORKERS_ENV, "").strip()
+            workers = int(env) if env else 1
+        if workers < 1:
+            raise SweepError(f"workers must be >= 1, got {workers}")
+        if cache_dir is None:
+            cache_dir = os.environ.get(CACHE_ENV, "").strip() or None
+        if unpicklable not in ("error", "strip"):
+            raise SweepError(
+                f"unpicklable must be 'error' or 'strip', got {unpicklable!r}"
+            )
+        self.workers = workers
+        self.cache_dir = Path(cache_dir) if cache_dir else None
+        self.unpicklable = unpicklable
+        self.stats = SweepStats()
+
+    # ------------------------------------------------------------------
+    def run(self, jobs: Sequence[JobSpec]) -> list:
+        """Execute every job, returning results in job order."""
+        jobs = list(jobs)
+        keys = [job_key(spec) for spec in jobs]
+        results: dict[str, object] = {}
+        pending: dict[str, JobSpec] = {}
+        for spec, key in zip(jobs, keys):
+            if key in results or key in pending:
+                self.stats.deduplicated += 1
+                continue
+            cached = self._cache_load(key)
+            if cached is not _CACHE_MISS:
+                results[key] = cached
+                self.stats.cache_hits += 1
+                continue
+            if self.cache_dir is not None:
+                self.stats.cache_misses += 1
+            pending[key] = spec
+        if pending:
+            for key, result in zip(pending, self._execute(list(pending.values()))):
+                results[key] = result
+                self._cache_store(key, result)
+            self.stats.executed += len(pending)
+        return [results[key] for key in keys]
+
+    def __call__(self, jobs: Sequence[JobSpec]) -> list:
+        return self.run(jobs)
+
+    # ------------------------------------------------------------------
+    def _execute(self, specs: list[JobSpec]) -> list:
+        payloads = [(spec, self.unpicklable) for spec in specs]
+        if self.workers > 1 and len(specs) > 1:
+            max_workers = min(self.workers, len(specs))
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                return list(pool.map(_execute_job, payloads))
+        return [_execute_job(payload) for payload in payloads]
+
+    # ------------------------------------------------------------------
+    def _cache_path(self, key: str) -> Path | None:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{key}.pkl"
+
+    def _cache_load(self, key: str):
+        """Return the cached result, or ``_CACHE_MISS`` when absent —
+        a sentinel, so a legitimately-``None`` job result still hits."""
+        path = self._cache_path(key)
+        if path is None or not path.exists():
+            return _CACHE_MISS
+        try:
+            with open(path, "rb") as fh:
+                return pickle.load(fh)
+        except Exception:
+            # a torn or stale entry is a miss, not an error
+            path.unlink(missing_ok=True)
+            return _CACHE_MISS
+
+    def _cache_store(self, key: str, result) -> None:
+        path = self._cache_path(key)
+        if path is None:
+            return
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        with open(tmp, "wb") as fh:
+            pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+
+
+def resolve_executor(
+    executor: SweepExecutor | None = None,
+    workers: int | None = None,
+    cache_dir: str | os.PathLike | None = None,
+) -> SweepExecutor:
+    """The executor every ``run_*`` harness uses: the caller's, or a
+    fresh one honouring ``workers=`` and the environment knobs."""
+    if executor is not None:
+        return executor
+    return SweepExecutor(workers=workers, cache_dir=cache_dir)

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
 from repro.experiments.fig14 import PAGERANK_KWARGS
-from repro.experiments.runner import build_engine, build_workload, warm_first_touch
+from repro.experiments.sweep import JobSpec, SweepExecutor, resolve_executor
 from repro.memsim.address import PAGE_SIZE, PAGES_PER_HUGE_PAGE
 from repro.memsim.metrics import SimulationReport
 
@@ -45,8 +45,12 @@ def _phase_times(report: SimulationReport, workload) -> tuple[float, float, floa
     return generate, build, avg_trail
 
 
-def _run(system: str, thp: bool, config: ExperimentConfig) -> ThpRow:
-    workload = build_workload("pagerank", config, total_batches=None, **PAGERANK_KWARGS)
+def _extract_phase_times(report, engine) -> None:
+    """Worker-side extractor: phase times need the live workload object."""
+    report.annotations["phase_times"] = _phase_times(report, engine.workload)
+
+
+def _thp_job(system: str, thp: bool, config: ExperimentConfig) -> JobSpec:
     policy_kwargs: dict = {}
     if system == "neomem":
         policy_kwargs["neomem_config"] = config.neomem_config(thp=thp)
@@ -54,15 +58,33 @@ def _run(system: str, thp: bool, config: ExperimentConfig) -> ThpRow:
     else:
         policy_kwargs["thp"] = thp
         policy_name = "tpp"
-    engine = build_engine(workload, policy_name, config, policy_kwargs=policy_kwargs)
-    warm_first_touch(engine)
-    report = engine.run()
-    generate, build, avg_trail = _phase_times(report, workload)
+    return JobSpec(
+        "pagerank",
+        policy_name,
+        config,
+        workload_overrides={"total_batches": None, **PAGERANK_KWARGS},
+        policy_kwargs=policy_kwargs,
+        extractor="repro.experiments.table06:_extract_phase_times",
+        tag=f"{system}-{'thp' if thp else 'base'}",
+    )
+
+
+def table06_jobs(config: ExperimentConfig = DEFAULT_CONFIG) -> list[JobSpec]:
+    """The four Table VI configurations, in table order."""
+    return [
+        _thp_job("neomem", True, config),
+        _thp_job("tpp", True, config),
+        _thp_job("neomem", False, config),
+        _thp_job("tpp", False, config),
+    ]
+
+
+def _row_from_report(label: str, report: SimulationReport) -> ThpRow:
+    generate, build, avg_trail = report.annotations["phase_times"]
     huge_pages = report.total_promoted_huge_pages
     huge_mb = huge_pages * PAGES_PER_HUGE_PAGE * PAGE_SIZE / 2**20
     base_pages = report.total_promoted_pages - huge_pages * PAGES_PER_HUGE_PAGE
     base_mb = max(base_pages, 0) * PAGE_SIZE / 2**20
-    label = f"{system}-{'thp' if thp else 'base'}"
     return ThpRow(
         system=label,
         generate_s=generate,
@@ -74,11 +96,15 @@ def _run(system: str, thp: bool, config: ExperimentConfig) -> ThpRow:
     )
 
 
-def run_table06(config: ExperimentConfig = DEFAULT_CONFIG) -> list[ThpRow]:
+def run_table06(
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    *,
+    executor: SweepExecutor | None = None,
+    workers: int | None = None,
+) -> list[ThpRow]:
     """The four Table VI configurations."""
+    jobs = table06_jobs(config)
+    reports = resolve_executor(executor, workers).run(jobs)
     return [
-        _run("neomem", True, config),
-        _run("tpp", True, config),
-        _run("neomem", False, config),
-        _run("tpp", False, config),
+        _row_from_report(job.tag, report) for job, report in zip(jobs, reports)
     ]

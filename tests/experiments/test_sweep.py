@@ -1,0 +1,250 @@
+"""Tests for the declarative sweep subsystem (JobSpec/SweepExecutor)."""
+
+import pickle
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.sweep import (
+    JobSpec,
+    SweepError,
+    SweepExecutor,
+    SweepSerializationError,
+    _sanitize_result,
+    job_key,
+    resolve,
+    resolve_executor,
+)
+from repro.memsim.metrics import SimulationReport
+
+#: small enough that pool startup dominates nothing and the whole file
+#: stays in test-suite (not benchmark) territory
+TINY = ExperimentConfig(num_pages=2048, batches=4, batch_size=2048)
+
+
+def tiny_jobs():
+    return [
+        JobSpec("gups", "first-touch", TINY),
+        JobSpec("gups", "neomem", TINY),
+        JobSpec("silo", "pebs", TINY),
+    ]
+
+
+class TestJobKey:
+    def test_stable_for_equal_specs(self):
+        assert job_key(JobSpec("gups", "neomem", TINY)) == job_key(
+            JobSpec("gups", "neomem", TINY)
+        )
+
+    def test_tag_is_not_identity(self):
+        assert job_key(JobSpec("gups", "neomem", TINY, tag="a")) == job_key(
+            JobSpec("gups", "neomem", TINY, tag="b")
+        )
+
+    def test_every_axis_changes_the_key(self):
+        base = JobSpec("gups", "neomem", TINY)
+        variants = [
+            JobSpec("silo", "neomem", TINY),
+            JobSpec("gups", "pebs", TINY),
+            JobSpec("gups", "neomem", TINY.with_ratio(1, 8)),
+            JobSpec("gups", "neomem", TINY, seed=7),
+            JobSpec("gups", "neomem", TINY, workload_overrides={"total_batches": 2}),
+            JobSpec("gups", "neomem", TINY, policy_kwargs={"sample_interval": 10}),
+            JobSpec("gups", "neomem", TINY, prefill=False),
+            JobSpec("gups", "neomem", TINY, extractor="m:f"),
+        ]
+        keys = {job_key(v) for v in variants}
+        assert job_key(base) not in keys
+        assert len(keys) == len(variants)
+
+    def test_nested_config_dataclasses_hash(self):
+        a = JobSpec(
+            "pagerank", "neomem", TINY,
+            policy_kwargs={"neomem_config": TINY.neomem_config()},
+        )
+        b = JobSpec(
+            "pagerank", "neomem", TINY,
+            policy_kwargs={
+                "neomem_config": TINY.neomem_config(migration_interval_s=1.0)
+            },
+        )
+        assert job_key(a) != job_key(b)
+
+    def test_rejects_non_data_fields(self):
+        spec = JobSpec("gups", "neomem", TINY, policy_kwargs={"cb": lambda: None})
+        with pytest.raises(SweepError, match="plain data"):
+            job_key(spec)
+
+    def test_spec_pickles(self):
+        spec = JobSpec("gups", "neomem", TINY, policy_kwargs={"a": 1})
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+class TestResolve:
+    def test_resolves_dotted_path(self):
+        from repro.experiments.sweep import run_single
+
+        assert resolve("repro.experiments.sweep:run_single") is run_single
+
+    def test_rejects_malformed_and_missing(self):
+        with pytest.raises(SweepError):
+            resolve("no_colon_here")
+        with pytest.raises(SweepError):
+            resolve("repro.experiments.sweep:does_not_exist")
+        with pytest.raises(SweepError):
+            resolve("not.a.module:thing")
+
+
+class TestExecutor:
+    def test_serial_results_in_job_order(self):
+        reports = SweepExecutor(workers=1).run(tiny_jobs())
+        assert [(r.workload, r.policy) for r in reports] == [
+            ("gups", "first-touch"),
+            ("gups", "neomem"),
+            ("silo", "pebs"),
+        ]
+
+    def test_pool_matches_serial_bit_for_bit(self):
+        """ISSUE acceptance: serial and process-pool runs of the same
+        JobSpec list produce identical SimulationReport counters."""
+        jobs = tiny_jobs()
+        serial = SweepExecutor(workers=1).run(jobs)
+        pooled = SweepExecutor(workers=2).run(jobs)
+        for a, b in zip(serial, pooled):
+            assert a.epochs == b.epochs
+            assert a.total_time_ns == b.total_time_ns
+            assert a.total_promoted_pages == b.total_promoted_pages
+
+    def test_seed_axis_changes_results(self):
+        base, reseeded = SweepExecutor().run(
+            [
+                JobSpec("gups", "neomem", TINY),
+                JobSpec("gups", "neomem", TINY, seed=TINY.seed + 1),
+            ]
+        )
+        assert base.epochs != reseeded.epochs
+
+    def test_duplicate_jobs_execute_once(self):
+        executor = SweepExecutor()
+        job = JobSpec("gups", "first-touch", TINY)
+        a, b = executor.run([job, JobSpec("gups", "first-touch", TINY, tag="dup")])
+        assert executor.stats.executed == 1
+        assert executor.stats.deduplicated == 1
+        assert a is b
+
+    def test_workers_validation(self):
+        with pytest.raises(SweepError):
+            SweepExecutor(workers=0)
+        with pytest.raises(SweepError):
+            SweepExecutor(unpicklable="maybe")
+
+    def test_env_knobs(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "3")
+        monkeypatch.setenv("REPRO_SWEEP_CACHE", str(tmp_path / "c"))
+        executor = SweepExecutor()
+        assert executor.workers == 3
+        assert executor.cache_dir == tmp_path / "c"
+
+    def test_resolve_executor_passthrough(self):
+        executor = SweepExecutor(workers=2)
+        assert resolve_executor(executor) is executor
+        assert resolve_executor(None, workers=2).workers == 2
+
+
+class TestCache:
+    def test_second_run_is_all_hits_and_identical(self, tmp_path):
+        jobs = tiny_jobs()
+        first = SweepExecutor(workers=1, cache_dir=tmp_path)
+        cold = first.run(jobs)
+        assert first.stats.cache_misses == len(jobs)
+        second = SweepExecutor(workers=1, cache_dir=tmp_path)
+        warm = second.run(jobs)
+        assert second.stats.cache_hits == len(jobs)
+        assert second.stats.executed == 0
+        for a, b in zip(cold, warm):
+            assert a.epochs == b.epochs
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        job = JobSpec("gups", "first-touch", TINY)
+        executor = SweepExecutor(cache_dir=tmp_path)
+        executor.run([job])
+        path = tmp_path / f"{job_key(job)}.pkl"
+        path.write_bytes(b"not a pickle")
+        again = SweepExecutor(cache_dir=tmp_path)
+        report = again.run([job])[0]
+        assert again.stats.cache_hits == 0
+        assert report.total_time_ns > 0
+
+    def test_none_result_still_caches(self, tmp_path):
+        job = JobSpec(
+            "gups", "none", TINY,
+            runner="repro.experiments._testhooks:none_runner",
+        )
+        executor = SweepExecutor(cache_dir=tmp_path)
+        assert executor.run([job]) == [None]
+        again = SweepExecutor(cache_dir=tmp_path)
+        assert again.run([job]) == [None]
+        assert again.stats.cache_hits == 1
+        assert again.stats.executed == 0
+
+    def test_empty_cache_dir_disables_caching(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SWEEP_CACHE", str(tmp_path))
+        executor = SweepExecutor(cache_dir="")
+        assert executor.cache_dir is None
+        executor.run([JobSpec("gups", "first-touch", TINY)])
+        assert not list(tmp_path.iterdir())
+
+    def test_different_config_different_entry(self, tmp_path):
+        executor = SweepExecutor(cache_dir=tmp_path)
+        executor.run([JobSpec("gups", "first-touch", TINY)])
+        executor.run([JobSpec("gups", "first-touch", TINY, seed=99)])
+        assert executor.stats.executed == 2
+        assert len(list(tmp_path.glob("*.pkl"))) == 2
+
+
+class TestSanitization:
+    def _poisoned_report(self):
+        report = SimulationReport(workload="gups", policy="neomem")
+        report.annotations["engine"] = lambda: None  # stands in for a live engine
+        report.annotations["fine"] = {"counters": [1, 2, 3]}
+        return report
+
+    def test_error_mode_names_the_offenders(self):
+        report = self._poisoned_report()
+        with pytest.raises(SweepSerializationError, match=r"\['engine'\]"):
+            _sanitize_result(report, JobSpec("gups", "neomem", TINY), "error")
+
+    def test_strip_mode_drops_and_records(self):
+        report = self._poisoned_report()
+        out = _sanitize_result(report, JobSpec("gups", "neomem", TINY), "strip")
+        assert "engine" not in out.annotations
+        assert out.annotations["stripped_annotations"] == ["engine"]
+        assert out.annotations["fine"] == {"counters": [1, 2, 3]}
+        pickle.dumps(out)
+
+    def test_executor_surfaces_clear_error_not_picklingerror(self):
+        """ISSUE satellite: an engine stashed in annotations must fail
+        with a clear error, not a raw PicklingError from the pool."""
+        job = JobSpec(
+            "gups",
+            "first-touch",
+            TINY,
+            extractor="repro.experiments._testhooks:poison_annotations",
+        )
+        with pytest.raises(SweepSerializationError, match="extractor_leak"):
+            SweepExecutor(workers=1).run([job])
+
+
+class TestExtractorFlow:
+    def test_extractor_runs_with_live_engine(self):
+        job = JobSpec(
+            "gups",
+            "first-touch",
+            TINY,
+            extractor="repro.experiments._testhooks:record_fast_pages",
+        )
+        report = SweepExecutor().run([job])[0]
+        assert report.annotations["fast_tier_pages"] > 0
+        # the engine itself never leaks into the returned report
+        assert "engine" not in report.annotations
+        assert "policy_object" not in report.annotations
