@@ -6,14 +6,25 @@ helper that renders the same rows/series the paper reports; the
 ``benchmarks/`` harnesses call both.
 """
 
+from repro.experiments.backends import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    ShardedBackend,
+    ShardMergeError,
+    merge_shards,
+    resolve_backend,
+)
 from repro.experiments.colocation import (
     build_colocation,
     colocation_job,
     colocation_sweep_jobs,
+    colocation_sweep_solo_jobs,
     format_colocation,
     make_tenant_specs,
     run_colocation,
     run_colocation_sweep,
+    solo_baseline_job,
 )
 from repro.experiments.config import DEFAULT_CONFIG, SMOKE_CONFIG, ExperimentConfig
 from repro.experiments.runner import (
@@ -26,20 +37,34 @@ from repro.experiments.runner import (
     warm_first_touch,
     workload_pages,
 )
+from repro.experiments.reporting import (
+    ReplicaStats,
+    replica_stats,
+    summarize_replicas,
+)
 from repro.experiments.sweep import (
     JobSpec,
     SweepError,
     SweepExecutor,
     SweepSerializationError,
     job_key,
+    replicate,
     resolve_executor,
+    run_replicated,
+    source_fingerprint,
 )
 
 __all__ = [
     "DEFAULT_CONFIG",
     "SMOKE_CONFIG",
+    "ExecutionBackend",
     "ExperimentConfig",
     "JobSpec",
+    "ProcessPoolBackend",
+    "ReplicaStats",
+    "SerialBackend",
+    "ShardMergeError",
+    "ShardedBackend",
     "SweepError",
     "SweepExecutor",
     "SweepSerializationError",
@@ -49,15 +74,24 @@ __all__ = [
     "build_workload",
     "colocation_job",
     "colocation_sweep_jobs",
+    "colocation_sweep_solo_jobs",
     "default_policy_kwargs",
     "format_colocation",
     "geomean",
     "job_key",
     "make_tenant_specs",
+    "merge_shards",
+    "replica_stats",
+    "replicate",
+    "resolve_backend",
     "resolve_executor",
     "run_colocation",
     "run_colocation_sweep",
     "run_one",
+    "run_replicated",
+    "solo_baseline_job",
+    "source_fingerprint",
+    "summarize_replicas",
     "warm_first_touch",
     "workload_pages",
 ]

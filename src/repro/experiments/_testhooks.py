@@ -28,3 +28,10 @@ def none_runner(spec) -> None:
     """Custom runner returning None — a legal (picklable) result that
     the cache must still treat as a hit on re-runs."""
     return None
+
+
+def seed_runner(spec) -> float:
+    """Custom runner returning the spec's resolved seed as a float —
+    replica-statistics tests get exactly computable aggregates without
+    paying for a simulation."""
+    return float(spec.resolved_config().seed)

@@ -115,10 +115,10 @@ def colocation_job(
     config: ExperimentConfig = DEFAULT_CONFIG,
     scheduler: str = "round-robin",
     qos: QosConfig | None = None,
-    solo_baselines: bool = True,
     tag: str = "",
 ) -> JobSpec:
-    """One co-located run (plus its solo baselines) as a JobSpec.
+    """One co-located run as a JobSpec (no solo baselines — those are
+    separate, deduplicable jobs; see :func:`solo_baseline_job`).
 
     TenantSpecs and the QosConfig are frozen dataclasses, so the whole
     tenant mix hashes into the job's cache key.
@@ -132,8 +132,43 @@ def colocation_job(
             "specs": list(specs),
             "scheduler": scheduler,
             "qos": qos,
-            "solo_baselines": solo_baselines,
         },
+        tag=tag,
+    )
+
+
+def solo_baseline_job(
+    spec: TenantSpec,
+    policy_name: str,
+    config: ExperimentConfig,
+    topology_pages: int,
+    tag: str = "",
+) -> JobSpec:
+    """One tenant's solo baseline as its own JobSpec.
+
+    The baseline is the tenant alone and *unconstrained* on the full-
+    mix-sized machine: QoS knobs (quota, cold start) are part of what
+    slowdown measures, and weight/priority only matter under
+    contention, so all are normalized away.  That normalization is what
+    makes the job's identity scheduler-independent — the executor runs
+    one baseline per (tenant, machine) and every scheduler's slowdown
+    row reuses it from dedup or the cache, instead of each co-located
+    run recomputing its own.
+    """
+    solo_spec = replace(
+        spec,
+        name="solo",  # labels only; dropping it dedups same-workload tenants
+        weight=1.0,
+        priority=0,
+        fast_quota_fraction=None,
+        cold_start=False,
+    )
+    return JobSpec(
+        workload=spec.workload,
+        policy=policy_name,
+        config=config,
+        runner="repro.experiments.colocation:_run_solo_job",
+        runner_kwargs={"spec": solo_spec, "topology_pages": topology_pages},
         tag=tag,
     )
 
@@ -147,8 +182,37 @@ def _run_colocation_job(spec: JobSpec) -> ColocationReport:
         spec.resolved_config(),
         kwargs["scheduler"],
         kwargs["qos"],
-        kwargs["solo_baselines"],
     )
+
+
+def _run_solo_job(job: JobSpec) -> float:
+    """Custom JobSpec runner: one tenant alone; returns its runtime (s)."""
+    spec: TenantSpec = job.runner_kwargs["spec"]
+    config = job.resolved_config()
+    workload = make_workload(
+        spec.workload,
+        num_pages=spec.num_pages,
+        total_batches=config.batches,
+        batch_size=config.batch_size,
+        **spec.workload_overrides,
+    )
+    solo_engine = ColocationEngine(
+        [(spec, workload)],
+        topology_for(job.runner_kwargs["topology_pages"], config),
+        policy_factory=lambda: build_policy(job.policy, spec.num_pages, config),
+        config=config.engine_config(),
+    )
+    solo_engine.prefill()
+    return solo_engine.run().machine.total_time_s
+
+
+def _stitch_solo_times(
+    report: ColocationReport,
+    specs: list[TenantSpec],
+    solo_times: list[float],
+) -> None:
+    for spec, solo_time in zip(specs, solo_times):
+        report.tenants[spec.name].solo_time_s = solo_time
 
 
 def run_colocation(
@@ -161,15 +225,28 @@ def run_colocation(
     *,
     executor: SweepExecutor | None = None,
     workers: int | None = None,
+    backend: str | None = None,
 ) -> ColocationReport:
     """One co-located run, plus per-tenant solo baselines for slowdown.
 
     Solo baselines run each tenant alone on the *same machine* (topology
     sized for the full mix), so the slowdown ratio isolates contention:
     the solo tenant enjoys the whole fast tier and an idle CXL channel.
+    Baselines are independent JobSpecs, so the one executor call fans
+    them out (and dedups/caches them) alongside the co-located run.
     """
-    job = colocation_job(specs, policy_name, config, scheduler, qos, solo_baselines)
-    return resolve_executor(executor, workers).run([job])[0]
+    jobs = [colocation_job(specs, policy_name, config, scheduler, qos)]
+    if solo_baselines:
+        topology_pages = sum(spec.num_pages for spec in specs)
+        jobs += [
+            solo_baseline_job(spec, policy_name, config, topology_pages)
+            for spec in specs
+        ]
+    results = resolve_executor(executor, workers, backend=backend).run(jobs)
+    report = results[0]
+    if solo_baselines:
+        _stitch_solo_times(report, specs, results[1:])
+    return report
 
 
 def _run_colocation(
@@ -178,36 +255,11 @@ def _run_colocation(
     config: ExperimentConfig,
     scheduler: str,
     qos: QosConfig | None,
-    solo_baselines: bool,
 ) -> ColocationReport:
     engine = build_colocation(specs, policy_name, config, scheduler, qos)
     engine.prefill()
     report = engine.run()
     report.verify_conservation()
-    if solo_baselines:
-        topology_pages = sum(spec.num_pages for spec in specs)
-        for spec in specs:
-            # the baseline is the tenant alone and *unconstrained*: QoS
-            # knobs (quota, cold start) are part of what slowdown measures
-            solo_spec = replace(spec, fast_quota_fraction=None, cold_start=False)
-            workload = make_workload(
-                spec.workload,
-                num_pages=spec.num_pages,
-                total_batches=config.batches,
-                batch_size=config.batch_size,
-                **spec.workload_overrides,
-            )
-            solo_engine = ColocationEngine(
-                [(solo_spec, workload)],
-                topology_for(topology_pages, config),
-                policy_factory=lambda pages=spec.num_pages: build_policy(
-                    policy_name, pages, config
-                ),
-                config=config.engine_config(),
-            )
-            solo_engine.prefill()
-            solo_report = solo_engine.run()
-            report.tenants[spec.name].solo_time_s = solo_report.machine.total_time_s
     return report
 
 
@@ -249,6 +301,32 @@ def colocation_sweep_jobs(
     return jobs
 
 
+def colocation_sweep_solo_jobs(
+    tenant_counts=TENANT_COUNTS,
+    policy_name: str = "neomem",
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    mix=DEFAULT_MIX,
+) -> tuple[list[JobSpec], list[tuple[int, str]]]:
+    """The sweep's solo-baseline JobSpecs, with (tenant_count, name) ids.
+
+    One baseline per tenant per tenant count (scheduler-independent);
+    the ids map results back onto the co-located reports.  Exposed so
+    drivers that enumerate the sweep's work — ``run_colocation_sweep``
+    and the sharded ``sweep_cli`` — cover the same job set.
+    """
+    solo_jobs: list[JobSpec] = []
+    solo_ids: list[tuple[int, str]] = []
+    for num_tenants in tenant_counts:
+        specs = make_tenant_specs(num_tenants, config, mix=mix)
+        topology_pages = sum(spec.num_pages for spec in specs)
+        for spec in specs:
+            solo_jobs.append(
+                solo_baseline_job(spec, policy_name, config, topology_pages)
+            )
+            solo_ids.append((num_tenants, spec.name))
+    return solo_jobs, solo_ids
+
+
 def run_colocation_sweep(
     tenant_counts=TENANT_COUNTS,
     schedulers=SCHEDULER_NAMES,
@@ -259,21 +337,40 @@ def run_colocation_sweep(
     *,
     executor: SweepExecutor | None = None,
     workers: int | None = None,
+    backend: str | None = None,
 ) -> list[dict]:
     """Sweep tenant count x scheduler; one summary row per run.
 
     Rows carry fairness, mean/worst slowdown and the per-tenant
     slowdowns, which is what the acceptance experiment reports.
+
+    Solo baselines are scheduler-independent JobSpecs, so one executor
+    call runs each tenant's baseline exactly once per tenant count —
+    the executor dedups it across the schedulers sharing the mix (and
+    the cache reuses it across sweep invocations) instead of every
+    co-located run recomputing its own.
     """
-    jobs = colocation_sweep_jobs(
+    coloc_jobs = colocation_sweep_jobs(
         tenant_counts, schedulers, policy_name, config, qos, mix
     )
-    reports = resolve_executor(executor, workers).run(jobs)
+    solo_jobs, solo_ids = colocation_sweep_solo_jobs(
+        tenant_counts, policy_name, config, mix
+    )
+    results = resolve_executor(executor, workers, backend=backend).run(
+        coloc_jobs + solo_jobs
+    )
+    reports = results[: len(coloc_jobs)]
+    solo_times = dict(zip(solo_ids, results[len(coloc_jobs) :]))
     rows: list[dict] = []
-    for report in reports:
-        row = report.summary()
-        row["slowdowns"] = report.slowdowns
-        rows.append(row)
+    flat = iter(reports)
+    for num_tenants in tenant_counts:
+        for _scheduler in schedulers:
+            report = next(flat)
+            for name, tenant_report in report.tenants.items():
+                tenant_report.solo_time_s = solo_times[(num_tenants, name)]
+            row = report.summary()
+            row["slowdowns"] = report.slowdowns
+            rows.append(row)
     return rows
 
 

@@ -43,9 +43,9 @@ def _pagerank_neomem_job(
     )
 
 
-def _normalized_runtimes(points, jobs, executor, workers) -> dict:
+def _normalized_runtimes(points, jobs, executor, workers, backend=None) -> dict:
     """Execute the jobs; return point -> best_time / time."""
-    reports = resolve_executor(executor, workers).run(jobs)
+    reports = resolve_executor(executor, workers, backend=backend).run(jobs)
     times = {point: report.total_time_s for point, report in zip(points, reports)}
     best = min(times.values())
     return {point: best / t for point, t in times.items()}
@@ -57,6 +57,7 @@ def run_fig15a(
     *,
     executor: SweepExecutor | None = None,
     workers: int | None = None,
+    backend: str | None = None,
 ):
     """Runtime vs migration interval (normalized to the best)."""
     jobs = [
@@ -67,7 +68,7 @@ def run_fig15a(
         )
         for interval in intervals
     ]
-    return _normalized_runtimes(intervals, jobs, executor, workers)
+    return _normalized_runtimes(intervals, jobs, executor, workers, backend)
 
 
 def run_fig15b(
@@ -76,6 +77,7 @@ def run_fig15b(
     *,
     executor: SweepExecutor | None = None,
     workers: int | None = None,
+    backend: str | None = None,
 ):
     """Runtime vs migration quota (normalized to the best)."""
     from dataclasses import replace
@@ -84,7 +86,7 @@ def run_fig15b(
         _pagerank_neomem_job(replace(config, quota_bytes_per_s=quota))
         for quota in quotas
     ]
-    return _normalized_runtimes(quotas, jobs, executor, workers)
+    return _normalized_runtimes(quotas, jobs, executor, workers, backend)
 
 
 def run_fig15c(
@@ -132,6 +134,7 @@ def run_fig15d(
     *,
     executor: SweepExecutor | None = None,
     workers: int | None = None,
+    backend: str | None = None,
 ):
     """End-to-end performance vs sketch width (normalized to best)."""
     jobs = [
@@ -142,4 +145,4 @@ def run_fig15d(
         )
         for width in widths
     ]
-    return _normalized_runtimes(widths, jobs, executor, workers)
+    return _normalized_runtimes(widths, jobs, executor, workers, backend)

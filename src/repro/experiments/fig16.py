@@ -84,11 +84,12 @@ def run_fig16(
     *,
     executor: SweepExecutor | None = None,
     workers: int | None = None,
+    backend: str | None = None,
 ) -> dict[str, ConvergenceCurve]:
     """Run the convergence study; returns label -> curve."""
     methods = methods or METHODS
     jobs = fig16_jobs(config, methods, total_batches, relocate_at)
-    reports = resolve_executor(executor, workers).run(jobs)
+    reports = resolve_executor(executor, workers, backend=backend).run(jobs)
     return {
         label: ConvergenceCurve(
             label=label,

@@ -1,12 +1,21 @@
-"""Table and timeline formatting for the benchmark harnesses.
+"""Table/timeline formatting and replica statistics for the harnesses.
 
 Every ``benchmarks/test_figXX.py`` prints the same rows/series the
 paper's figure or table reports, through these helpers, so the bench
 output is directly comparable to the publication.
+
+The replica-statistics half (:class:`ReplicaStats`,
+:func:`replica_stats`, :func:`summarize_replicas`) reduces seed-replica
+sweeps — each figure point run at N seeds via
+:func:`~repro.experiments.sweep.replicate` — to mean / sample-stddev /
+95 % confidence intervals, so figures carry error bars instead of
+single-seed point estimates.
 """
 
 from __future__ import annotations
 
+import math
+from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
 
@@ -58,6 +67,118 @@ def normalize_to(baseline_key: str, values: Mapping[str, float]) -> dict[str, fl
     if base <= 0:
         raise ValueError("baseline value must be positive")
     return {key: base / value for key, value in values.items()}
+
+
+# ----------------------------------------------------------------------
+# seed-replica statistics
+# ----------------------------------------------------------------------
+#: two-sided 95 % Student-t critical values for df 1..30, then banded
+#: upper bounds (each band reports its smallest-df value, so intervals
+#: are conservative); the asymptotic normal value takes over past
+#: df=120, where the error is < 1 %
+# fmt: off
+_T95 = (
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+)
+# fmt: on
+_T95_BANDS = ((40, 2.042), (60, 2.021), (120, 2.000))
+_Z95 = 1.960
+
+
+def t_critical_95(df: int) -> float:
+    """Two-sided 95 % Student-t critical value for ``df`` degrees of
+    freedom (table lookup; no scipy dependency)."""
+    if df < 1:
+        raise ValueError(f"degrees of freedom must be >= 1, got {df}")
+    if df <= len(_T95):
+        return _T95[df - 1]
+    for cap, value in _T95_BANDS:
+        if df <= cap:
+            return value
+    return _Z95
+
+
+@dataclass(frozen=True)
+class ReplicaStats:
+    """Mean / spread of one figure point across seed replicas.
+
+    ``ci95`` is the *half-width* of the two-sided 95 % confidence
+    interval for the mean (Student-t), so an error bar is drawn as
+    ``mean ± ci95``.  A single replica degenerates to its value with
+    zero spread — honest, if not informative.
+    """
+
+    mean: float
+    stddev: float
+    ci95: float
+    n: int
+
+    @property
+    def lo(self) -> float:
+        return self.mean - self.ci95
+
+    @property
+    def hi(self) -> float:
+        return self.mean + self.ci95
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} ± {self.ci95:.2g} (n={self.n})"
+
+
+def replica_stats(values: Iterable[float]) -> ReplicaStats:
+    """Reduce one point's replica values to :class:`ReplicaStats`.
+
+    Uses the sample standard deviation (ddof=1) and the Student-t
+    interval — at the 3-10 replica counts sweeps actually run, the
+    normal approximation would understate the interval badly.
+    """
+    vals = [float(v) for v in values]
+    n = len(vals)
+    if n == 0:
+        raise ValueError("replica_stats needs at least one value")
+    mean = math.fsum(vals) / n
+    if n == 1:
+        return ReplicaStats(mean=mean, stddev=0.0, ci95=0.0, n=1)
+    var = math.fsum((v - mean) ** 2 for v in vals) / (n - 1)
+    stddev = math.sqrt(var)
+    ci95 = t_critical_95(n - 1) * stddev / math.sqrt(n)
+    return ReplicaStats(mean=mean, stddev=stddev, ci95=ci95, n=n)
+
+
+def summarize_replicas(values: Sequence[float], n_seeds: int) -> list[ReplicaStats]:
+    """Reduce a flat replica-grouped value list, one stats row per point.
+
+    The layout is :func:`~repro.experiments.sweep.replicate`'s output
+    order: ``values[i * n_seeds : (i + 1) * n_seeds]`` are point ``i``'s
+    replicas.
+    """
+    values = list(values)
+    if n_seeds < 1:
+        raise ValueError(f"n_seeds must be >= 1, got {n_seeds}")
+    if len(values) % n_seeds:
+        raise ValueError(
+            f"{len(values)} values do not divide into replicas of {n_seeds}"
+        )
+    return [
+        replica_stats(values[i : i + n_seeds])
+        for i in range(0, len(values), n_seeds)
+    ]
+
+
+def format_error_bars(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a table whose :class:`ReplicaStats` cells print as
+    ``mean ± ci95`` (plain cells format as in :func:`format_table`)."""
+    rendered = [
+        [str(cell) if isinstance(cell, ReplicaStats) else cell for cell in row]
+        for row in rows
+    ]
+    return format_table(headers, rendered, title=title)
 
 
 def sparkline(values: Sequence[float], width: int = 60) -> str:

@@ -8,13 +8,22 @@ This module turns that structure into data:
   point: workload, policy, configuration, seed, and (for non-standard
   runs) dotted-path references to a policy factory, a result extractor,
   or an alternative runner.  A spec fully determines its result.
-* :class:`SweepExecutor` — runs a list of JobSpecs, either serially
-  (the deterministic default) or fanned out over a
-  ``ProcessPoolExecutor``.  Worker count comes from the ``workers=``
-  argument or the ``REPRO_SWEEP_WORKERS`` environment variable.
+* :class:`SweepExecutor` — runs a list of JobSpecs through a pluggable
+  :class:`~repro.experiments.backends.ExecutionBackend`: serial (the
+  deterministic default), a ``ProcessPoolExecutor`` fan-out
+  (``workers=`` / ``REPRO_SWEEP_WORKERS``), or a deterministic shard of
+  the list for multi-host execution (``REPRO_SWEEP_SHARD`` /
+  ``REPRO_SWEEP_NUM_SHARDS``; see :mod:`repro.experiments.backends`).
 * an on-disk result cache keyed by :func:`job_key` — a stable hash of
-  the spec's canonical JSON — so repeated benchmark runs skip completed
-  points.  Enable it with ``cache_dir=`` or ``REPRO_SWEEP_CACHE``.
+  the spec's canonical JSON, salted with a fingerprint of the simulator
+  sources so editing the models invalidates stale entries — so repeated
+  benchmark runs skip completed points.  Enable it with ``cache_dir=``
+  or ``REPRO_SWEEP_CACHE``.
+* a seed-replica layer: :func:`replicate` expands each job into N
+  seeded replicas and :func:`run_replicated` reduces each point's
+  replica results to mean/stddev/95 %-CI statistics
+  (:mod:`repro.experiments.reporting`), so any figure harness can emit
+  error bars.
 
 Because jobs cross process boundaries, results must pickle.  The
 executor verifies this *before* handing a result back (or to the pool),
@@ -40,8 +49,8 @@ import json
 import os
 import pickle
 from collections.abc import Mapping, Sequence
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
+from functools import lru_cache
 from pathlib import Path
 
 import numpy as np
@@ -56,9 +65,12 @@ __all__ = [
     "SweepError",
     "SweepSerializationError",
     "job_key",
+    "replicate",
     "resolve",
     "resolve_executor",
+    "run_replicated",
     "run_single",
+    "source_fingerprint",
     "WORKERS_ENV",
     "CACHE_ENV",
 ]
@@ -68,7 +80,7 @@ WORKERS_ENV = "REPRO_SWEEP_WORKERS"
 CACHE_ENV = "REPRO_SWEEP_CACHE"
 
 #: bump to invalidate every cached result (part of the key preimage)
-CACHE_SCHEMA_VERSION = 1
+CACHE_SCHEMA_VERSION = 2
 
 #: the standard runner: one run_one() invocation
 DEFAULT_RUNNER = "repro.experiments.sweep:run_single"
@@ -165,18 +177,58 @@ def _canonical(obj):
     )
 
 
+#: test hook: point the source fingerprint at an alternative tree
+_SOURCE_ROOT: str | os.PathLike | None = None
+
+
+@lru_cache(maxsize=8)
+def _tree_fingerprint(root: Path) -> str:
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(path.relative_to(root).as_posix().encode())
+        digest.update(b"\x00")
+        digest.update(path.read_bytes())
+        digest.update(b"\x00")
+    return digest.hexdigest()[:16]
+
+
+def source_fingerprint(root: str | os.PathLike | None = None) -> str:
+    """Content hash of every ``*.py`` under the simulator sources.
+
+    Part of every cache key: a sweep result is a function of the spec
+    *and* the code that computed it, so editing a model, policy or
+    workload invalidates stale entries automatically instead of
+    requiring a version bump or a manual cache wipe.  Hashed once per
+    process (the tree is ~125 small files; the cost is milliseconds).
+    """
+    if root is None:
+        root = _SOURCE_ROOT
+    if root is None:
+        import repro  # deferred: repro/__init__ imports the experiments tier
+
+        root = Path(repro.__file__).resolve().parent
+    return _tree_fingerprint(Path(root).resolve())
+
+
 def job_key(spec: JobSpec) -> str:
     """Stable content hash of a JobSpec (the cache key).
 
     ``tag`` is excluded — it labels results, it does not change them.
-    The repro version and a schema number salt the key so stale caches
-    invalidate across releases.
+    The repro version, a schema number and the simulator-source
+    fingerprint salt the key so stale caches invalidate across releases
+    *and* across code edits.
     """
     import repro  # deferred: repro/__init__ imports the experiments tier
 
-    payload = _canonical(dataclasses.replace(spec, tag=""))
+    # seed=None and an explicit seed equal to config.seed resolve to the
+    # identical simulation, so they must share one identity (a replicated
+    # sweep's replica 0 then reuses the plain run's cache entry)
+    payload = _canonical(
+        dataclasses.replace(spec, tag="", seed=spec.resolved_config().seed)
+    )
     payload["__cache_schema__"] = CACHE_SCHEMA_VERSION
     payload["__repro_version__"] = repro.__version__
+    payload["__source_fingerprint__"] = source_fingerprint()
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()[:24]
 
@@ -317,14 +369,17 @@ class SweepStats:
     cache_hits: int = 0
     cache_misses: int = 0
     deduplicated: int = 0
+    #: jobs left to other shards by a ShardedBackend
+    shard_skipped: int = 0
 
 
 class SweepExecutor:
-    """Run JobSpecs serially or over a process pool, with caching.
+    """Run JobSpecs through an execution backend, with caching.
 
     Args:
-        workers: Process count.  ``None`` reads ``REPRO_SWEEP_WORKERS``,
-            defaulting to 1 (serial, deterministic, no pool overhead).
+        workers: Process count for the default local backends.  ``None``
+            reads ``REPRO_SWEEP_WORKERS``, defaulting to 1 (serial,
+            deterministic, no pool overhead).
         cache_dir: Result-cache directory.  ``None`` reads
             ``REPRO_SWEEP_CACHE``; unset means no caching, and ``""``
             forces caching off regardless of the environment.  Entries
@@ -333,9 +388,19 @@ class SweepExecutor:
         unpicklable: ``"error"`` (default) rejects results with
             non-serializable annotations; ``"strip"`` drops the
             offending keys instead.
+        backend: An :class:`~repro.experiments.backends.ExecutionBackend`
+            instance, a registry name (``"serial"``, ``"process-pool"``,
+            ``"sharded"``), or ``None`` to resolve from the environment
+            (``REPRO_SWEEP_BACKEND``, or ``REPRO_SWEEP_SHARD`` /
+            ``REPRO_SWEEP_NUM_SHARDS``) and fall back to serial-or-pool
+            from ``workers``.
 
     Identical specs within one ``run`` call execute once and share the
-    result; results always come back in job order.
+    result; results always come back in job order.  Under a sharded
+    backend, out-of-shard jobs come back as the
+    :data:`~repro.experiments.backends.SHARD_SKIPPED` marker — harness
+    aggregation only makes sense after :func:`merge_shards` fans the
+    per-shard caches back together.
     """
 
     def __init__(
@@ -343,7 +408,11 @@ class SweepExecutor:
         workers: int | None = None,
         cache_dir: str | os.PathLike | None = None,
         unpicklable: str = "error",
+        backend=None,
     ):
+        # deferred: backends imports this module for JobSpec/job_key
+        from repro.experiments.backends import resolve_backend
+
         if workers is None:
             env = os.environ.get(WORKERS_ENV, "").strip()
             workers = int(env) if env else 1
@@ -357,12 +426,27 @@ class SweepExecutor:
             )
         self.workers = workers
         self.cache_dir = Path(cache_dir) if cache_dir else None
+        if self.cache_dir is not None:
+            # eagerly: a shard owning zero jobs must still produce a
+            # (valid, empty) cache directory for merge_shards/artifacts
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
         self.unpicklable = unpicklable
+        self.backend = resolve_backend(backend, workers=workers)
         self.stats = SweepStats()
 
     # ------------------------------------------------------------------
-    def run(self, jobs: Sequence[JobSpec]) -> list:
-        """Execute every job, returning results in job order."""
+    def run(self, jobs: Sequence[JobSpec], *, allow_partial: bool = False) -> list:
+        """Execute every job, returning results in job order.
+
+        Under a sharded backend, out-of-shard jobs whose results are
+        not already cached come back as skip markers.  Aggregating
+        over such a partial slice is meaningless, so by default the
+        run fails fast; the sharded driver (``sweep_cli run``) passes
+        ``allow_partial=True`` because the cache slice, not the return
+        value, is its output.
+        """
+        from repro.experiments.backends import is_shard_skipped
+
         jobs = list(jobs)
         keys = [job_key(spec) for spec in jobs]
         results: dict[str, object] = {}
@@ -376,27 +460,40 @@ class SweepExecutor:
                 results[key] = cached
                 self.stats.cache_hits += 1
                 continue
-            if self.cache_dir is not None:
-                self.stats.cache_misses += 1
             pending[key] = spec
         if pending:
-            for key, result in zip(pending, self._execute(list(pending.values()))):
+            executed = self.backend.execute(
+                list(pending.values()), self.unpicklable, keys=list(pending)
+            )
+            for key, result in zip(pending, executed):
                 results[key] = result
+                if is_shard_skipped(result):
+                    self.stats.shard_skipped += 1
+                    continue
+                # a miss is a job this run actually had to execute —
+                # out-of-shard jobs were never this shard's work
+                if self.cache_dir is not None:
+                    self.stats.cache_misses += 1
                 self._cache_store(key, result)
-            self.stats.executed += len(pending)
-        return [results[key] for key in keys]
+                self.stats.executed += 1
+        out = [results[key] for key in keys]
+        if not allow_partial and any(is_shard_skipped(r) for r in out):
+            raise SweepError(
+                "run() returned shard-skipped results — a sharded run "
+                "produces a per-shard cache slice, not a result set; run "
+                "every shard (sweep_cli run), merge_shards() the caches, "
+                "then re-run unsharded against the merged cache"
+            )
+        return out
 
     def __call__(self, jobs: Sequence[JobSpec]) -> list:
         return self.run(jobs)
 
-    # ------------------------------------------------------------------
-    def _execute(self, specs: list[JobSpec]) -> list:
-        payloads = [(spec, self.unpicklable) for spec in specs]
-        if self.workers > 1 and len(specs) > 1:
-            max_workers = min(self.workers, len(specs))
-            with ProcessPoolExecutor(max_workers=max_workers) as pool:
-                return list(pool.map(_execute_job, payloads))
-        return [_execute_job(payload) for payload in payloads]
+    def is_cached(self, spec: JobSpec) -> bool:
+        """True when this spec's result is already in the on-disk cache
+        (always False with caching disabled)."""
+        path = self._cache_path(job_key(spec))
+        return path is not None and path.exists()
 
     # ------------------------------------------------------------------
     def _cache_path(self, key: str) -> Path | None:
@@ -433,9 +530,67 @@ def resolve_executor(
     executor: SweepExecutor | None = None,
     workers: int | None = None,
     cache_dir: str | os.PathLike | None = None,
+    backend=None,
 ) -> SweepExecutor:
     """The executor every ``run_*`` harness uses: the caller's, or a
-    fresh one honouring ``workers=`` and the environment knobs."""
+    fresh one honouring ``workers=``/``backend=`` and the environment
+    knobs (``REPRO_SWEEP_WORKERS``, ``REPRO_SWEEP_CACHE``,
+    ``REPRO_SWEEP_BACKEND``, ``REPRO_SWEEP_SHARD`` + ``_NUM_SHARDS``)."""
     if executor is not None:
         return executor
-    return SweepExecutor(workers=workers, cache_dir=cache_dir)
+    return SweepExecutor(workers=workers, cache_dir=cache_dir, backend=backend)
+
+
+# ----------------------------------------------------------------------
+# seed replicas
+# ----------------------------------------------------------------------
+def replicate(specs: Sequence[JobSpec], n_seeds: int) -> list[JobSpec]:
+    """Expand each spec into ``n_seeds`` seeded replicas, grouped.
+
+    Replica ``r`` of a spec runs at ``base_seed + r`` where the base is
+    the spec's own seed (or its config's).  The output keeps each
+    point's replicas contiguous — ``out[i * n_seeds : (i + 1) * n_seeds]``
+    are the replicas of ``specs[i]`` — which is the layout
+    :func:`~repro.experiments.reporting.summarize_replicas` reduces.
+    Replicas are real JobSpecs: they dedup, cache and shard exactly
+    like any other job.
+    """
+    if n_seeds < 1:
+        raise SweepError(f"n_seeds must be >= 1, got {n_seeds}")
+    out: list[JobSpec] = []
+    for spec in specs:
+        base = spec.seed if spec.seed is not None else spec.config.seed
+        for r in range(n_seeds):
+            tag = f"{spec.tag}#seed{r}" if spec.tag else f"#seed{r}"
+            out.append(replace(spec, seed=base + r, tag=tag))
+    return out
+
+
+def run_replicated(
+    specs: Sequence[JobSpec],
+    n_seeds: int,
+    metric=None,
+    *,
+    executor: SweepExecutor | None = None,
+    workers: int | None = None,
+    backend=None,
+) -> list:
+    """Run each spec at ``n_seeds`` seeds; one
+    :class:`~repro.experiments.reporting.ReplicaStats` per input spec.
+
+    ``metric`` maps one job result to the scalar being aggregated
+    (default: the report's ``total_time_s``), so any figure harness can
+    turn its grid into mean ± 95 %-CI error bars by handing its JobSpec
+    list here instead of to ``SweepExecutor.run``.
+    """
+    from repro.experiments.reporting import summarize_replicas
+
+    if metric is None:
+        def metric(report):
+            return report.total_time_s
+
+    specs = list(specs)
+    results = resolve_executor(executor, workers, backend=backend).run(
+        replicate(specs, n_seeds)
+    )
+    return summarize_replicas([metric(result) for result in results], n_seeds)

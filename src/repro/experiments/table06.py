@@ -101,10 +101,11 @@ def run_table06(
     *,
     executor: SweepExecutor | None = None,
     workers: int | None = None,
+    backend: str | None = None,
 ) -> list[ThpRow]:
     """The four Table VI configurations."""
     jobs = table06_jobs(config)
-    reports = resolve_executor(executor, workers).run(jobs)
+    reports = resolve_executor(executor, workers, backend=backend).run(jobs)
     return [
         _row_from_report(job.tag, report) for job, report in zip(jobs, reports)
     ]

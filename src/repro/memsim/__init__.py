@@ -20,7 +20,14 @@ from repro.memsim.address import (
     page_of_address,
     huge_page_of_page,
 )
-from repro.memsim.tiers import MemoryTier, TierSpec, DDR5_LOCAL, CXL_DRAM_PROTO, CXL_DRAM_IDEAL, CXL_PCM
+from repro.memsim.tiers import (
+    CXL_DRAM_IDEAL,
+    CXL_DRAM_PROTO,
+    CXL_PCM,
+    DDR5_LOCAL,
+    MemoryTier,
+    TierSpec,
+)
 from repro.memsim.cache import Cache, CacheHierarchy, CacheStats
 from repro.memsim.cachefilter import PageCacheFilter
 from repro.memsim.tlb import TLB

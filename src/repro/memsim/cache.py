@@ -44,7 +44,13 @@ class Cache:
     the LRU way when the set is full.
     """
 
-    def __init__(self, size_bytes: int, associativity: int, line_size: int = CACHE_LINE_SIZE, name: str = "cache") -> None:
+    def __init__(
+        self,
+        size_bytes: int,
+        associativity: int,
+        line_size: int = CACHE_LINE_SIZE,
+        name: str = "cache",
+    ) -> None:
         if size_bytes <= 0 or associativity <= 0 or line_size <= 0:
             raise ValueError("cache geometry must be positive")
         num_lines = size_bytes // line_size

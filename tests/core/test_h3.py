@@ -42,7 +42,8 @@ class TestCorrectness:
         for _ in range(20):
             a, b = rng.integers(0, 2**32, size=2)
             for d in range(2):
-                assert h.hash_one(int(a) ^ int(b), d) == h.hash_one(int(a), d) ^ h.hash_one(int(b), d)
+                lhs = h.hash_one(int(a) ^ int(b), d)
+                assert lhs == h.hash_one(int(a), d) ^ h.hash_one(int(b), d)
 
     def test_batch_matches_scalar(self):
         h = H3HashFamily(24, 512, 3)

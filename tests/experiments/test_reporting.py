@@ -1,12 +1,19 @@
-"""Tests for the report-formatting helpers."""
+"""Tests for the report-formatting helpers and replica statistics."""
+
+import math
 
 import pytest
 
 from repro.experiments.reporting import (
+    ReplicaStats,
+    format_error_bars,
     format_series,
     format_table,
     normalize_to,
+    replica_stats,
     sparkline,
+    summarize_replicas,
+    t_critical_95,
 )
 
 
@@ -54,6 +61,76 @@ class TestNormalizeTo:
     def test_zero_baseline_rejected(self):
         with pytest.raises(ValueError):
             normalize_to("a", {"a": 0.0})
+
+
+class TestReplicaStats:
+    def test_known_values(self):
+        """Hand-checked: mean 2.5, sample stddev sqrt(5/3), t(3)=3.182."""
+        stats = replica_stats([1.0, 2.0, 3.0, 4.0])
+        assert stats.n == 4
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.stddev == pytest.approx(math.sqrt(5.0 / 3.0))
+        assert stats.ci95 == pytest.approx(3.182 * math.sqrt(5.0 / 3.0) / 2.0)
+        assert stats.lo == pytest.approx(stats.mean - stats.ci95)
+        assert stats.hi == pytest.approx(stats.mean + stats.ci95)
+
+    def test_pair(self):
+        """n=2: stddev sqrt(2)/sqrt(2)... s = |a-b|/sqrt(2), t(1)=12.706."""
+        a, b = 10.0, 12.0
+        stats = replica_stats([a, b])
+        s = abs(a - b) / math.sqrt(2.0)
+        assert stats.stddev == pytest.approx(s)
+        assert stats.ci95 == pytest.approx(12.706 * s / math.sqrt(2.0))
+
+    def test_single_value_degenerates(self):
+        stats = replica_stats([7.0])
+        assert stats == ReplicaStats(mean=7.0, stddev=0.0, ci95=0.0, n=1)
+
+    def test_identical_replicas_zero_spread(self):
+        stats = replica_stats([3.0, 3.0, 3.0])
+        assert stats.stddev == 0.0
+        assert stats.ci95 == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            replica_stats([])
+
+    def test_t_table(self):
+        assert t_critical_95(1) == pytest.approx(12.706)
+        assert t_critical_95(30) == pytest.approx(2.042)
+        # banded upper bounds between the table and the normal limit
+        assert t_critical_95(31) == pytest.approx(2.042)
+        assert t_critical_95(50) == pytest.approx(2.021)
+        assert t_critical_95(100) == pytest.approx(2.000)
+        assert t_critical_95(300) == pytest.approx(1.960)
+        # monotone non-increasing in df, never below the normal value
+        values = [t_critical_95(df) for df in range(1, 200)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+        assert min(values) >= 1.960
+        with pytest.raises(ValueError):
+            t_critical_95(0)
+
+    def test_str_has_mean_and_interval(self):
+        text = str(replica_stats([1.0, 2.0, 3.0]))
+        assert "±" in text and "n=3" in text
+
+
+class TestSummarizeReplicas:
+    def test_chunks_in_replicate_order(self):
+        stats = summarize_replicas([1.0, 3.0, 10.0, 30.0], n_seeds=2)
+        assert [s.mean for s in stats] == [2.0, 20.0]
+        assert all(s.n == 2 for s in stats)
+
+    def test_rejects_ragged_input(self):
+        with pytest.raises(ValueError):
+            summarize_replicas([1.0, 2.0, 3.0], n_seeds=2)
+        with pytest.raises(ValueError):
+            summarize_replicas([1.0], n_seeds=0)
+
+    def test_format_error_bars_renders_stats_cells(self):
+        stats = replica_stats([1.0, 2.0, 3.0])
+        out = format_error_bars(["point", "time"], [["gups", stats]])
+        assert "±" in out and "gups" in out
 
 
 class TestSparkline:

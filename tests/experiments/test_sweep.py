@@ -1,9 +1,12 @@
 """Tests for the declarative sweep subsystem (JobSpec/SweepExecutor)."""
 
 import pickle
+import shutil
+from pathlib import Path
 
 import pytest
 
+import repro.experiments.sweep as sweep_module
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.sweep import (
     JobSpec,
@@ -14,6 +17,7 @@ from repro.experiments.sweep import (
     job_key,
     resolve,
     resolve_executor,
+    source_fingerprint,
 )
 from repro.memsim.metrics import SimulationReport
 
@@ -39,6 +43,17 @@ class TestJobKey:
     def test_tag_is_not_identity(self):
         assert job_key(JobSpec("gups", "neomem", TINY, tag="a")) == job_key(
             JobSpec("gups", "neomem", TINY, tag="b")
+        )
+
+    def test_seed_identity_is_resolved(self):
+        """seed=None and an explicit seed equal to config.seed run the
+        identical simulation, so they share one cache identity (replica
+        0 of a replicated sweep reuses the plain run's entry)."""
+        implicit = JobSpec("gups", "neomem", TINY)
+        explicit = JobSpec("gups", "neomem", TINY, seed=TINY.seed)
+        assert job_key(implicit) == job_key(explicit)
+        assert job_key(implicit) != job_key(
+            JobSpec("gups", "neomem", TINY, seed=TINY.seed + 1)
         )
 
     def test_every_axis_changes_the_key(self):
@@ -78,6 +93,52 @@ class TestJobKey:
     def test_spec_pickles(self):
         spec = JobSpec("gups", "neomem", TINY, policy_kwargs={"a": 1})
         assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+class TestSourceFingerprint:
+    """Code-aware cache invalidation: the cache key is salted with a
+    hash of the simulator sources, so editing a model invalidates
+    stale entries without a version bump."""
+
+    @pytest.fixture()
+    def source_tree(self, tmp_path, monkeypatch):
+        """A miniature src/repro tree containing a real policy file."""
+        tree = tmp_path / "repro"
+        (tree / "policies").mkdir(parents=True)
+        import repro.policies.tpp as tpp
+
+        shutil.copy(Path(tpp.__file__), tree / "policies" / "tpp.py")
+        (tree / "__init__.py").write_text("# package\n")
+        monkeypatch.setattr(sweep_module, "_SOURCE_ROOT", tree)
+        sweep_module._tree_fingerprint.cache_clear()
+        yield tree
+        sweep_module._tree_fingerprint.cache_clear()
+
+    def test_touching_a_policy_file_changes_the_key(self, source_tree):
+        spec = JobSpec("gups", "tpp", TINY)
+        before = job_key(spec)
+        policy_file = source_tree / "policies" / "tpp.py"
+        policy_file.write_text(policy_file.read_text() + "\n# edited\n")
+        sweep_module._tree_fingerprint.cache_clear()
+        assert job_key(spec) != before
+
+    def test_fingerprint_covers_file_names_too(self, source_tree):
+        before = source_fingerprint()
+        (source_tree / "policies" / "brand_new.py").write_text("x = 1\n")
+        sweep_module._tree_fingerprint.cache_clear()
+        assert source_fingerprint() != before
+
+    def test_fingerprint_stable_without_edits(self, source_tree):
+        before = source_fingerprint()
+        sweep_module._tree_fingerprint.cache_clear()
+        assert source_fingerprint() == before
+
+    def test_key_salting_is_live_by_default(self):
+        """The real tree is hashed into every key (no opt-in needed)."""
+        assert len(source_fingerprint()) == 16
+        # job_key is a pure function of spec + code, so two calls agree
+        spec = JobSpec("gups", "neomem", TINY)
+        assert job_key(spec) == job_key(spec)
 
 
 class TestResolve:

@@ -1,0 +1,81 @@
+"""Tests for the sweep CLI: the exact flow the CI sharded matrix runs."""
+
+import pytest
+
+from repro.experiments.backends import NUM_SHARDS_ENV, SHARD_ENV
+from repro.experiments.sweep_cli import main
+
+#: tiny-scale flags so the CLI flow stays test-suite sized
+# fmt: off
+TINY_FLAGS = [
+    "--num-pages", "2048", "--batches", "4", "--batch-size", "2048",
+    "--workloads", "gups,silo", "--ratios", "1:2",
+]
+# fmt: on
+
+
+def test_shard_merge_digest_flow(tmp_path, monkeypatch, capsys):
+    """Two sharded `run`s -> `merge` -> cached `digest` == fresh `digest`
+    (the CI fan-in job's bit-identity assertion, in miniature)."""
+    monkeypatch.setenv(NUM_SHARDS_ENV, "2")
+    for shard in ("0", "1"):
+        monkeypatch.setenv(SHARD_ENV, shard)
+        assert main(
+            ["run", "fig12", *TINY_FLAGS, "--cache-dir", str(tmp_path / f"s{shard}")]
+        ) == 0
+    monkeypatch.delenv(SHARD_ENV)
+    monkeypatch.delenv(NUM_SHARDS_ENV)
+
+    merged = tmp_path / "merged"
+    assert main(["merge", str(merged), str(tmp_path / "s0"), str(tmp_path / "s1")]) == 0
+
+    cached_out = tmp_path / "merged.digest"
+    assert main(
+        ["digest", "fig12", *TINY_FLAGS, "--cache-dir", str(merged),
+         "--require-cached", "--out", str(cached_out)]
+    ) == 0
+    fresh_out = tmp_path / "serial.digest"
+    assert main(["digest", "fig12", *TINY_FLAGS, "--out", str(fresh_out)]) == 0
+
+    assert cached_out.read_text() == fresh_out.read_text()
+    out = capsys.readouterr().out
+    assert "sharded[0/2" in out and "sharded[1/2" in out
+
+
+def test_sharded_run_without_cache_dir_is_refused(monkeypatch, capsys):
+    monkeypatch.setenv(SHARD_ENV, "0")
+    monkeypatch.setenv(NUM_SHARDS_ENV, "2")
+    monkeypatch.delenv("REPRO_SWEEP_CACHE", raising=False)
+    assert main(["run", "fig12", *TINY_FLAGS]) == 2
+    assert "discards its results" in capsys.readouterr().err
+
+
+def test_require_cached_fails_on_cold_cache(tmp_path, capsys):
+    cache = tmp_path / "empty"
+    code = main(
+        ["digest", "fig12", *TINY_FLAGS,
+         "--cache-dir", str(cache), "--require-cached"]
+    )
+    assert code == 2
+    assert "does not cover" in capsys.readouterr().err
+    # fail-fast: no job executed, nothing written into the cache under
+    # diagnosis (a run-first check would pollute it with fresh results)
+    assert list(cache.glob("*.pkl")) == []
+
+
+def test_unknown_job_set_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["run", "fig99"])
+
+
+def test_malformed_ratios_rejected(tmp_path):
+    with pytest.raises(SystemExit, match="invalid ratio"):
+        main(["run", "fig12", "--ratios", "1:2,14", "--cache-dir", str(tmp_path)])
+
+
+def test_unsupported_subset_flag_rejected(tmp_path):
+    """Flags a job set would silently ignore are an error, not a no-op."""
+    with pytest.raises(SystemExit, match="not supported"):
+        main(["run", "colocation", "--workloads", "gups", "--cache-dir", str(tmp_path)])
+    with pytest.raises(SystemExit, match="not supported"):
+        main(["run", "fig11", "--ratios", "1:2", "--cache-dir", str(tmp_path)])
