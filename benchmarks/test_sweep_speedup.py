@@ -2,25 +2,29 @@
 
 Runs the same multi-point sweep (a Fig. 12-style workload x ratio x
 system grid) through the serial executor and a 4-worker process pool,
-asserts the per-job reports are bit-identical, and emits
-``BENCH_sweep.json`` so the serial/parallel perf trajectory is tracked
-run over run.
+asserts the per-job reports are bit-identical, and *appends* one record
+to the ``BENCH_sweep.json`` perf trajectory
+(:mod:`repro.experiments.trajectory`): engine throughput, per-phase
+wall-clock split (from one telemetry-instrumented job), sweep wall
+clock, warm-cache hit rate.  CI's regression gate compares each new
+record against the history's 95 % confidence band.
 
 The >= 2x speedup acceptance bar is only asserted when the machine has
-enough cores to express it; the JSON records ``cpu_count`` either way,
-so a single-core CI shard still produces an honest artifact.
+enough cores to express it; the record carries ``cpu_count`` either
+way, so a single-core CI shard still appends an honest datapoint.
 """
 
-import json
 import os
 import time
 from pathlib import Path
 
 from benchmarks.conftest import BENCH_CONFIG
 from repro.experiments import fig12
-from repro.experiments.sweep import SweepExecutor
+from repro.experiments.sweep import SweepExecutor, run_single
+from repro.experiments.trajectory import append_record
+from repro.telemetry import configure, git_revision
 
-#: where the perf artifact lands (repo root, next to README)
+#: where the perf trajectory lands (repo root, next to README)
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
 
 PARALLEL_WORKERS = 4
@@ -33,15 +37,32 @@ def _sweep_jobs():
     )
 
 
-def test_sweep_parallel_speedup(benchmark):
+def _phase_breakdown(spec):
+    """Per-phase wall-clock ns of one instrumented job (telemetry on).
+
+    Runs outside the timed passes — instrumentation costs a little, and
+    the timed passes must measure the default (telemetry-off) path.
+    The global telemetry is restored to ``off`` afterwards.
+    """
+    configure("metrics")
+    try:
+        report = run_single(spec)
+        return dict(report.annotations["telemetry"]["phases"])
+    finally:
+        configure("off")
+
+
+def test_sweep_parallel_speedup(benchmark, tmp_path):
     jobs = _sweep_jobs()
+    cache_dir = tmp_path / "sweep-cache"
 
     def measure():
-        # cache_dir="" pins caching OFF even when REPRO_SWEEP_CACHE is
-        # set: this test's contract is raw execution wall clock, and a
-        # warm cache would turn the "parallel" pass into pickle loads
+        # the serial pass writes a fresh cache (so the warm replay below
+        # can measure hit rate); the parallel pass pins caching OFF —
+        # its contract is raw execution wall clock, and a warm cache
+        # would turn it into pickle loads
         start = time.perf_counter()
-        serial_reports = SweepExecutor(workers=1, cache_dir="").run(jobs)
+        serial_reports = SweepExecutor(workers=1, cache_dir=cache_dir).run(jobs)
         serial_s = time.perf_counter() - start
 
         start = time.perf_counter()
@@ -61,14 +82,27 @@ def test_sweep_parallel_speedup(benchmark):
     )
     speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
     cpu_count = os.cpu_count() or 1
+    total_epochs = sum(len(r.epochs) for r in serial_reports)
+    epochs_per_sec = total_epochs / serial_s if serial_s > 0 else 0.0
 
-    payload = {
+    # warm replay against the serial pass's cache: every job must hit
+    warm = SweepExecutor(workers=1, cache_dir=cache_dir)
+    warm.run(jobs)
+    lookups = warm.stats.cache_hits + warm.stats.cache_misses
+    cache_hit_rate = warm.stats.cache_hits / lookups if lookups else 0.0
+
+    record = {
+        "git_rev": git_revision(),
+        "unix_ts": int(time.time()),
         "jobs": len(jobs),
         "workers": PARALLEL_WORKERS,
         "cpu_count": cpu_count,
         "serial_s": round(serial_s, 4),
         "parallel_s": round(parallel_s, 4),
         "speedup": round(speedup, 3),
+        "epochs_per_sec": round(epochs_per_sec, 2),
+        "cache_hit_rate": round(cache_hit_rate, 4),
+        "phase_ns": _phase_breakdown(jobs[0]),
         "bit_identical_reports": identical,
         "config": {
             "num_pages": BENCH_CONFIG.num_pages,
@@ -76,16 +110,20 @@ def test_sweep_parallel_speedup(benchmark):
             "batch_size": BENCH_CONFIG.batch_size,
         },
     }
-    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    records = append_record(BENCH_JSON, record)
     print()
     print(
         f"sweep of {len(jobs)} jobs: serial {serial_s:.2f}s, "
         f"{PARALLEL_WORKERS}-worker {parallel_s:.2f}s -> {speedup:.2f}x "
-        f"({cpu_count} cpu); wrote {BENCH_JSON.name}"
+        f"({cpu_count} cpu, {epochs_per_sec:.0f} epochs/s, "
+        f"warm-cache hit rate {cache_hit_rate:.0%}); "
+        f"appended record #{len(records) - 1} to {BENCH_JSON.name}"
     )
 
     # determinism is unconditional: pool and serial must agree bit-for-bit
     assert identical
+    # the warm replay must be fully served from cache
+    assert cache_hit_rate == 1.0
     # the throughput bar needs the cores to express it
     if cpu_count >= PARALLEL_WORKERS:
-        assert speedup >= 2.0, payload
+        assert speedup >= 2.0, record

@@ -112,11 +112,13 @@ class NeoMemDaemon:
     # ------------------------------------------------------------------
     def on_epoch(self, view) -> float:
         cfg = self.config
+        tel = view.engine.telemetry
         now_ns = view.sim_time_ns + view.duration_ns
 
         # 1. the device snoops the CXL channel (hardware, no CPU cost)
-        slow_pages, slow_writes = view.slow_miss_stream()
-        self.device.snoop(slow_pages, slow_writes, view.duration_ns)
+        with tel.span("profile"):
+            slow_pages, slow_writes = view.slow_miss_stream()
+            self.device.snoop(slow_pages, slow_writes, view.duration_ns)
 
         overhead_ns = 0.0
 
@@ -124,6 +126,7 @@ class NeoMemDaemon:
         if now_ns >= self._next_migration_ns:
             self._next_migration_ns = now_ns + cfg.migration_interval_s * 1e9
             hot_pages = self.driver.read_hot_pages()
+            tel.counter("daemon.hot_page_reports").inc(int(hot_pages.size))
             if self.promotion_filter is not None and hot_pages.size:
                 hot_pages = self.promotion_filter(hot_pages)
             if hot_pages.size:
@@ -142,9 +145,11 @@ class NeoMemDaemon:
             demoted = view.migration.demote(victims, charge_quota=False)
             overhead_ns += demoted * cfg.syscall_ns_per_page
 
-        # period accounting (this epoch's migration activity)
-        self._period.promoted += view.migration.stats.promoted_pages
-        self._period.ping_pong += view.migration.stats.ping_pong_events
+        # period accounting (this epoch's migration activity so far; the
+        # engine drains the stats after on_epoch returns, so peek())
+        window = view.migration.peek()
+        self._period.promoted += window.promoted_pages
+        self._period.ping_pong += window.ping_pong_events
 
         # 4. threshold update at thr_update_interval (Algorithm 1)
         if now_ns >= self._next_thr_update_ns:

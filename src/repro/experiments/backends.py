@@ -284,34 +284,45 @@ def merge_shards(
 
     Writes are atomic (tmp + rename), so a merged directory is itself
     safe to use, or to merge again, at any point.
+
+    Per-shard run manifests (``MANIFEST.jsonl``, written next to cache
+    entries by the executor) are concatenated into the destination's
+    manifest, so provenance survives the merge.
     """
+    from repro.telemetry import MANIFEST_NAME, get_telemetry
+
     dest = Path(dest)
     dest.mkdir(parents=True, exist_ok=True)
     stats = MergeStats()
-    for shard_dir in shard_dirs:
-        shard_dir = Path(shard_dir)
-        if not shard_dir.is_dir():
-            raise ShardMergeError(f"shard cache directory not found: {shard_dir}")
-        copied = 0
-        for path in sorted(shard_dir.glob("*.pkl")):
-            payload = path.read_bytes()
-            target = dest / path.name
-            if target.exists():
-                if target.read_bytes() != payload:
-                    raise ShardMergeError(
-                        f"cache key {path.stem}: payload from {shard_dir} "
-                        "conflicts with an already-merged entry — shards "
-                        "disagree about one job's result"
-                    )
-                stats.duplicates += 1
-                continue
-            tmp = target.with_name(f"{target.name}.tmp{os.getpid()}")
-            tmp.write_bytes(payload)
-            os.replace(tmp, target)
-            copied += 1
-        stats.merged += copied
-        stats.per_shard[str(shard_dir)] = copied
-        stats.shards += 1
+    with get_telemetry().span("sweep.merge_shards"):
+        for shard_dir in shard_dirs:
+            shard_dir = Path(shard_dir)
+            if not shard_dir.is_dir():
+                raise ShardMergeError(f"shard cache directory not found: {shard_dir}")
+            copied = 0
+            for path in sorted(shard_dir.glob("*.pkl")):
+                payload = path.read_bytes()
+                target = dest / path.name
+                if target.exists():
+                    if target.read_bytes() != payload:
+                        raise ShardMergeError(
+                            f"cache key {path.stem}: payload from {shard_dir} "
+                            "conflicts with an already-merged entry — shards "
+                            "disagree about one job's result"
+                        )
+                    stats.duplicates += 1
+                    continue
+                tmp = target.with_name(f"{target.name}.tmp{os.getpid()}")
+                tmp.write_bytes(payload)
+                os.replace(tmp, target)
+                copied += 1
+            manifest = shard_dir / MANIFEST_NAME
+            if manifest.is_file() and manifest.resolve() != (dest / MANIFEST_NAME).resolve():
+                with open(dest / MANIFEST_NAME, "a", encoding="utf-8") as fh:
+                    fh.write(manifest.read_text(encoding="utf-8"))
+            stats.merged += copied
+            stats.per_shard[str(shard_dir)] = copied
+            stats.shards += 1
     return stats
 
 

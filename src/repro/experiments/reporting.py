@@ -114,6 +114,9 @@ class ReplicaStats:
     stddev: float
     ci95: float
     n: int
+    #: optional mean per-phase wall-clock split (telemetry runs only):
+    #: phase name -> mean nanoseconds across the replicas.
+    phase_ns: Mapping[str, float] | None = None
 
     @property
     def lo(self) -> float:

@@ -57,6 +57,7 @@ import numpy as np
 
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
 from repro.experiments.runner import run_one
+from repro.telemetry import append_manifest, get_telemetry, manifest_record
 
 __all__ = [
     "JobSpec",
@@ -447,24 +448,27 @@ class SweepExecutor:
         """
         from repro.experiments.backends import is_shard_skipped
 
+        tel = get_telemetry()
         jobs = list(jobs)
         keys = [job_key(spec) for spec in jobs]
         results: dict[str, object] = {}
         pending: dict[str, JobSpec] = {}
-        for spec, key in zip(jobs, keys):
-            if key in results or key in pending:
-                self.stats.deduplicated += 1
-                continue
-            cached = self._cache_load(key)
-            if cached is not _CACHE_MISS:
-                results[key] = cached
-                self.stats.cache_hits += 1
-                continue
-            pending[key] = spec
+        with tel.span("sweep.cache_lookup"):
+            for spec, key in zip(jobs, keys):
+                if key in results or key in pending:
+                    self.stats.deduplicated += 1
+                    continue
+                cached = self._cache_load(key)
+                if cached is not _CACHE_MISS:
+                    results[key] = cached
+                    self.stats.cache_hits += 1
+                    continue
+                pending[key] = spec
         if pending:
-            executed = self.backend.execute(
-                list(pending.values()), self.unpicklable, keys=list(pending)
-            )
+            with tel.span("sweep.dispatch"):
+                executed = self.backend.execute(
+                    list(pending.values()), self.unpicklable, keys=list(pending)
+                )
             for key, result in zip(pending, executed):
                 results[key] = result
                 if is_shard_skipped(result):
@@ -475,6 +479,7 @@ class SweepExecutor:
                 if self.cache_dir is not None:
                     self.stats.cache_misses += 1
                 self._cache_store(key, result)
+                self._manifest_store(key, pending[key], result)
                 self.stats.executed += 1
         out = [results[key] for key in keys]
         if not allow_partial and any(is_shard_skipped(r) for r in out):
@@ -524,6 +529,21 @@ class SweepExecutor:
         with open(tmp, "wb") as fh:
             pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
         os.replace(tmp, path)
+
+    def _manifest_store(self, key: str, spec: JobSpec, result) -> None:
+        """Append a provenance record next to the cache entry just stored.
+
+        The manifest (``MANIFEST.jsonl``) records what produced each
+        cached result — job key, label, seed, git revision, and (on
+        telemetry runs) per-phase wall-clock totals — so a cache
+        directory is auditable after the fact and across shard merges.
+        """
+        if self.cache_dir is None:
+            return
+        append_manifest(
+            self.cache_dir,
+            manifest_record(key, spec.label(), spec.resolved_config().seed, result),
+        )
 
 
 def resolve_executor(
@@ -593,4 +613,22 @@ def run_replicated(
     results = resolve_executor(executor, workers, backend=backend).run(
         replicate(specs, n_seeds)
     )
-    return summarize_replicas([metric(result) for result in results], n_seeds)
+    stats = summarize_replicas([metric(result) for result in results], n_seeds)
+    # telemetry runs: carry each point's mean per-phase wall clock along
+    for i, point in enumerate(stats):
+        phase_sums: dict[str, float] = {}
+        counted = 0
+        for result in results[i * n_seeds : (i + 1) * n_seeds]:
+            annotations = getattr(result, "annotations", None)
+            telemetry = annotations.get("telemetry") if isinstance(annotations, dict) else None
+            if not isinstance(telemetry, dict) or "phases" not in telemetry:
+                continue
+            counted += 1
+            for phase, ns in telemetry["phases"].items():
+                phase_sums[phase] = phase_sums.get(phase, 0.0) + float(ns)
+        if counted:
+            stats[i] = dataclasses.replace(
+                point,
+                phase_ns={phase: total / counted for phase, total in sorted(phase_sums.items())},
+            )
+    return stats

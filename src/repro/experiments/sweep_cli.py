@@ -37,6 +37,7 @@ from pathlib import Path
 from repro.experiments.backends import SerialBackend, is_sharded_env, merge_shards
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.sweep import JobSpec, SweepExecutor, job_key
+from repro.telemetry import configure, export_chrome_trace, get_telemetry
 
 __all__ = ["JOB_SETS", "build_jobs", "results_digest", "main"]
 
@@ -162,6 +163,33 @@ def _cmd_run(args) -> int:
         f"cache_hits={stats.cache_hits} deduplicated={stats.deduplicated} "
         f"shard_skipped={stats.shard_skipped}"
     )
+    tel = get_telemetry()
+    if tel.tracing:
+        export_chrome_trace(args.trace_out, tel)
+        print(f"[sweep-cli] wrote Chrome trace to {args.trace_out}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    """Run a job set in trace mode and export a Perfetto-loadable trace.
+
+    Always serial and cache-bypassing: a trace is a profile of *this*
+    execution, so cached results (which skip the simulation entirely)
+    would hollow it out, and pool workers would trace into buffers the
+    parent never sees.
+    """
+    tel = configure("trace")
+    executor = SweepExecutor(workers=1, cache_dir="", backend=SerialBackend())
+    jobs = build_jobs(args)
+    if args.limit is not None:
+        jobs = jobs[: args.limit]
+    executor.run(jobs)
+    trace = export_chrome_trace(args.out, tel)
+    print(
+        f"[sweep-cli] {args.job_set}: traced {len(jobs)} jobs -> {args.out} "
+        f"({len(trace['traceEvents'])} events, "
+        f"{trace['otherData']['dropped_events']} dropped)"
+    )
     return 0
 
 
@@ -216,7 +244,21 @@ def main(argv=None) -> int:
     run_p = sub.add_parser("run", help="execute a job set (honours shard env)")
     _add_jobset_flags(run_p)
     run_p.add_argument("--cache-dir", default=None)
+    run_p.add_argument(
+        "--trace-out",
+        default="sweep_trace.json",
+        help="Chrome-trace output path (written when REPRO_TELEMETRY=trace)",
+    )
     run_p.set_defaults(func=_cmd_run)
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="run a job set with tracing on; export a Perfetto trace",
+    )
+    _add_jobset_flags(trace_p)
+    trace_p.add_argument("--out", default="sweep_trace.json")
+    trace_p.add_argument("--limit", type=int, default=None, help="trace only the first N jobs")
+    trace_p.set_defaults(func=_cmd_trace)
 
     merge_p = sub.add_parser("merge", help="fan per-shard caches into one")
     merge_p.add_argument("dest")

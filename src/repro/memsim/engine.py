@@ -33,6 +33,7 @@ from repro.memsim.migration import MigrationConfig, MigrationEngine
 from repro.memsim.numa import NumaTopology
 from repro.memsim.page_table import PageTable
 from repro.memsim.tiers import TierSpec
+from repro.telemetry import Telemetry, engine_telemetry
 
 
 class Workload(Protocol):
@@ -131,6 +132,7 @@ class SimulationEngine:
         topology_spec: list[tuple[TierSpec, int]],
         policy: Policy,
         config: EngineConfig | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.config = config or EngineConfig()
         self.workload = workload
@@ -140,14 +142,21 @@ class SimulationEngine:
                 f"workload RSS {workload.num_pages} pages exceeds topology "
                 f"capacity {self.topology.total_capacity_pages()} pages"
             )
+        if telemetry is None:
+            telemetry = engine_telemetry(f"{workload.name}/{policy.name}")
+        self.telemetry = telemetry
         self.page_table = PageTable(workload.num_pages)
-        self.lru = Lru2Q(workload.num_pages)
+        self.lru = Lru2Q(workload.num_pages, telemetry=telemetry)
         self.cache = PageCacheFilter(
             capacity_pages=self.config.llc_capacity_pages,
             max_page_id=workload.num_pages,
         )
         self.migration = MigrationEngine(
-            self.topology, self.page_table, self.lru, self.config.migration
+            self.topology,
+            self.page_table,
+            self.lru,
+            self.config.migration,
+            telemetry=telemetry,
         )
         self.policy = policy
         self.rng = np.random.default_rng(self.config.seed)
@@ -166,70 +175,96 @@ class SimulationEngine:
             if batch is None:
                 break
             self.step(*batch)
+        if self.telemetry.enabled:
+            self.report.annotations["telemetry"] = self.telemetry.summary()
         return self.report
 
     # ------------------------------------------------------------------
     def step(self, pages: np.ndarray, is_write: np.ndarray) -> EpochMetrics:
-        """Simulate one epoch from an explicit access batch."""
-        pages = np.asarray(pages, dtype=np.int64)
-        is_write = np.asarray(is_write, dtype=bool)
-        if pages.shape != is_write.shape:
-            raise ValueError("pages and is_write must have matching shapes")
+        """Simulate one epoch from an explicit access batch.
 
-        self.topology.first_touch_allocate(self.page_table, pages)
+        The epoch splits into four telemetry phases — ``account`` (LLC
+        filtering, timing model, traffic bookkeeping), ``profile``
+        (OS-visible PTE/LRU maintenance plus the policy's own profiler
+        span), ``plan`` (policy decision logic) and ``migrate`` (page
+        moves, nested under ``plan``) — each timed exclusively, so the
+        per-phase wall-clock totals sum without double counting.
+        """
+        tel = self.telemetry
+        with tel.span("account"):
+            pages = np.asarray(pages, dtype=np.int64)
+            is_write = np.asarray(is_write, dtype=bool)
+            if pages.shape != is_write.shape:
+                raise ValueError("pages and is_write must have matching shapes")
 
-        miss_mask = self.cache.filter_batch(pages)
-        miss_pages = pages[miss_mask]
-        miss_is_write = is_write[miss_mask]
-        miss_nodes = self.page_table.nodes_of(miss_pages).astype(np.int64)
+            self.topology.first_touch_allocate(self.page_table, pages)
 
-        duration_ns = self._epoch_time_ns(pages.size, miss_pages.size, miss_nodes, miss_is_write)
-        metrics = self._account_traffic(pages, miss_pages, miss_is_write, miss_nodes, duration_ns)
+            miss_mask = self.cache.filter_batch(pages)
+            miss_pages = pages[miss_mask]
+            miss_is_write = is_write[miss_mask]
+            miss_nodes = self.page_table.nodes_of(miss_pages).astype(np.int64)
+
+            duration_ns = self._epoch_time_ns(
+                pages.size, miss_pages.size, miss_nodes, miss_is_write
+            )
+            metrics = self._account_traffic(
+                pages, miss_pages, miss_is_write, miss_nodes, duration_ns
+            )
 
         # OS-visible state updates.
-        touched = np.unique(pages)
-        self.page_table.set_accessed(touched)
-        on_fast = self.page_table.nodes_of(touched) == 0
-        self.lru.touch(touched[on_fast], self.epoch)
-        if self.epoch % 8 == 0:
-            self.lru.age(self.epoch, member_mask=self.page_table.node_of_page == 0)
+        with tel.span("profile"):
+            touched = np.unique(pages)
+            self.page_table.set_accessed(touched)
+            on_fast = self.page_table.nodes_of(touched) == 0
+            self.lru.touch(touched[on_fast], self.epoch)
+            if self.epoch % 8 == 0:
+                self.lru.age(self.epoch, member_mask=self.page_table.node_of_page == 0)
 
         # Let the policy observe and act.
-        view = EpochView(
-            epoch=self.epoch,
-            sim_time_ns=self.sim_time_ns,
-            duration_ns=duration_ns,
-            pages=pages,
-            is_write=is_write,
-            miss_mask=miss_mask,
-            miss_pages=miss_pages,
-            miss_is_write=miss_is_write,
-            miss_nodes=miss_nodes,
-            touched_pages=touched,
-            engine=self,
-        )
-        self.migration.grant_quota(duration_ns * 1e-9)
-        overhead_ns = float(self.policy.on_epoch(view))
+        with tel.span("plan"):
+            view = EpochView(
+                epoch=self.epoch,
+                sim_time_ns=self.sim_time_ns,
+                duration_ns=duration_ns,
+                pages=pages,
+                is_write=is_write,
+                miss_mask=miss_mask,
+                miss_pages=miss_pages,
+                miss_is_write=miss_is_write,
+                miss_nodes=miss_nodes,
+                touched_pages=touched,
+                engine=self,
+            )
+            self.migration.grant_quota(duration_ns * 1e-9)
+            overhead_ns = float(self.policy.on_epoch(view))
         migration_stats = self.migration.drain_stats()
 
-        metrics.profiling_overhead_ns = overhead_ns
-        metrics.migration_stall_ns = migration_stats.stall_ns
-        metrics.promoted_pages = migration_stats.promoted_pages
-        metrics.demoted_pages = migration_stats.demoted_pages
-        metrics.promoted_huge_pages = migration_stats.promoted_huge_pages
-        metrics.ping_pong_events = migration_stats.ping_pong_events
-        metrics.duration_ns = duration_ns + overhead_ns + migration_stats.stall_ns
-        metrics.threshold = getattr(self.policy, "current_threshold", 0.0)
+        with tel.span("account"):
+            metrics.profiling_overhead_ns = overhead_ns
+            metrics.migration_stall_ns = migration_stats.stall_ns
+            metrics.promoted_pages = migration_stats.promoted_pages
+            metrics.demoted_pages = migration_stats.demoted_pages
+            metrics.promoted_huge_pages = migration_stats.promoted_huge_pages
+            metrics.ping_pong_events = migration_stats.ping_pong_events
+            metrics.duration_ns = duration_ns + overhead_ns + migration_stats.stall_ns
+            metrics.threshold = getattr(self.policy, "current_threshold", 0.0)
 
-        self.topology.end_epoch()
-        slow = self.topology.slow_nodes
-        if slow:
-            metrics.slow_bandwidth_util = max(n.tier.last_utilization for n in slow)
-            metrics.slow_read_fraction = slow[0].tier.last_read_fraction
+            self.topology.end_epoch()
+            slow = self.topology.slow_nodes
+            if slow:
+                metrics.slow_bandwidth_util = max(n.tier.last_utilization for n in slow)
+                metrics.slow_read_fraction = slow[0].tier.last_read_fraction
 
-        self.sim_time_ns += metrics.duration_ns
-        self.report.append(metrics)
-        self.epoch += 1
+            self.sim_time_ns += metrics.duration_ns
+            self.report.append(metrics)
+            self.epoch += 1
+            if tel.enabled:
+                reg = tel.registry
+                reg.counter("engine.epochs").inc()
+                reg.counter("engine.accesses").inc(metrics.accesses)
+                reg.counter("engine.llc_misses").inc(metrics.llc_misses)
+                reg.counter("engine.sim_ns").inc(int(metrics.duration_ns))
+                reg.histogram("engine.epoch_sim_ns").observe(int(metrics.duration_ns))
         return metrics
 
     # ------------------------------------------------------------------

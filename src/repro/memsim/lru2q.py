@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.telemetry import DISABLED, Telemetry
+
 #: list states
 _NONE = np.int8(0)
 _INACTIVE = np.int8(1)
@@ -28,13 +30,19 @@ _ACTIVE = np.int8(2)
 class Lru2Q:
     """Kernel-style 2Q lists over a flat page-number space."""
 
-    def __init__(self, num_pages: int, active_ratio: float = 0.6) -> None:
+    def __init__(
+        self,
+        num_pages: int,
+        active_ratio: float = 0.6,
+        telemetry: Telemetry | None = None,
+    ) -> None:
         if num_pages <= 0:
             raise ValueError("need at least one page")
         if not 0.0 < active_ratio < 1.0:
             raise ValueError("active_ratio must be in (0, 1)")
         self.num_pages = int(num_pages)
         self.active_ratio = float(active_ratio)
+        self.telemetry = telemetry if telemetry is not None else DISABLED
         self._state = np.full(self.num_pages, _NONE, dtype=np.int8)
         self._stamp = np.full(self.num_pages, -1, dtype=np.int64)
 
@@ -56,6 +64,10 @@ class Lru2Q:
         new_state[promote] = _ACTIVE
         self._state[idx] = new_state
         self._stamp[idx] = epoch
+        if self.telemetry.enabled:
+            reg = self.telemetry.registry
+            reg.counter("lru2q.inserted_pages").inc(int(fresh.sum()))
+            reg.counter("lru2q.activated_pages").inc(int(promote.sum()))
 
     def forget(self, pages: np.ndarray) -> None:
         """Drop pages from the lists (e.g. after demotion off-node)."""
@@ -97,6 +109,8 @@ class Lru2Q:
         active_pages = np.nonzero(active_mask)[0]
         oldest = active_pages[np.argsort(self._stamp[active_pages], kind="stable")[:excess]]
         self._state[oldest] = _INACTIVE
+        if self.telemetry.enabled:
+            self.telemetry.registry.counter("lru2q.aged_pages").inc(int(oldest.size))
         return int(oldest.size)
 
     def coldest(self, count: int, member_mask: np.ndarray | None = None) -> np.ndarray:

@@ -126,8 +126,13 @@ class SimulationReport:
         return [e.sim_time_ns * 1e-9 for e in self.epochs]
 
     def summary(self) -> dict[str, float]:
-        """Compact dictionary used by the experiment tables."""
-        return {
+        """Compact dictionary used by the experiment tables.
+
+        When the run carried telemetry (``REPRO_TELEMETRY=metrics`` or
+        ``trace``) the engine's per-phase wall-clock totals ride along as
+        ``phase_<name>_s`` keys.
+        """
+        out = {
             "workload": self.workload,
             "policy": self.policy,
             "runtime_s": self.total_time_s,
@@ -140,3 +145,8 @@ class SimulationReport:
             "fast_hit_ratio": self.fast_hit_ratio,
             "profiling_overhead_s": self.total_profiling_overhead_ns * 1e-9,
         }
+        telemetry = self.annotations.get("telemetry")
+        if isinstance(telemetry, dict):
+            for phase, ns in sorted(telemetry.get("phases", {}).items()):
+                out[f"phase_{phase}_s"] = float(ns) * 1e-9
+        return out

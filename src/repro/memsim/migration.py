@@ -18,7 +18,7 @@ Models the kernel migration path NeoMem invokes (Section III ``7``):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -26,6 +26,7 @@ from repro.memsim.address import PAGE_SIZE, PAGES_PER_HUGE_PAGE
 from repro.memsim.lru2q import Lru2Q
 from repro.memsim.numa import NumaTopology
 from repro.memsim.page_table import PageTable
+from repro.telemetry import DISABLED, Telemetry
 
 
 @dataclass
@@ -95,13 +96,16 @@ class MigrationEngine:
         page_table: PageTable,
         lru: Lru2Q,
         config: MigrationConfig | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.topology = topology
         self.page_table = page_table
         self.lru = lru
         self.config = config or MigrationConfig()
+        self.telemetry = telemetry if telemetry is not None else DISABLED
         self.stats = MigrationStats()
         self._window_budget_bytes = 0.0
+        self._window_drained = False
 
     # ------------------------------------------------------------------
     # quota
@@ -120,6 +124,9 @@ class MigrationEngine:
             self._window_budget_bytes + self.config.quota_bytes_per_s * window_s,
             self.config.quota_bytes_per_s * self.QUOTA_BURST_S,
         )
+        # a grant opens a new accounting window: stats may (and in the
+        # engine loop, must) be drained exactly once before the next one
+        self._window_drained = False
 
     def _charge_quota(self, pages_wanted: int, bytes_per_page: int) -> int:
         """Clamp a request to the remaining window budget (in pages)."""
@@ -139,46 +146,56 @@ class MigrationEngine:
         Demotes cold pages first if the fast node is full.  Returns the
         number of pages actually promoted after quota and capacity.
         """
-        pages = _dedup_keep_order(np.asarray(pages, dtype=np.int64))
-        if pages.size == 0:
-            return 0
-        nodes = self.page_table.nodes_of(pages)
-        movable = pages[nodes > 0]  # only pages on slow nodes move up
-        if movable.size == 0:
-            return 0
-        granted = self._charge_quota(movable.size, PAGE_SIZE)
-        if granted == 0:
-            return 0
-        movable = movable[:granted]
+        with self.telemetry.span("migrate"):
+            pages = _dedup_keep_order(np.asarray(pages, dtype=np.int64))
+            if pages.size == 0:
+                return 0
+            nodes = self.page_table.nodes_of(pages)
+            movable = pages[nodes > 0]  # only pages on slow nodes move up
+            if movable.size == 0:
+                return 0
+            granted = self._charge_quota(movable.size, PAGE_SIZE)
+            if granted == 0:
+                return 0
+            movable = movable[:granted]
 
-        fast = self.topology.fast_node.tier
-        headroom_target = int(fast.capacity_pages * self.config.fast_free_target)
-        deficit = movable.size - (fast.free_pages - headroom_target)
-        if deficit > 0:
-            self._make_room(deficit, epoch)
-            budget = max(fast.free_pages - headroom_target, 0)
-            if movable.size > budget:
-                movable = movable[:budget]
-        if movable.size == 0:
-            return 0
+            fast = self.topology.fast_node.tier
+            headroom_target = int(fast.capacity_pages * self.config.fast_free_target)
+            deficit = movable.size - (fast.free_pages - headroom_target)
+            if deficit > 0:
+                self._make_room(deficit, epoch)
+                budget = max(fast.free_pages - headroom_target, 0)
+                if movable.size > budget:
+                    movable = movable[:budget]
+            if movable.size == 0:
+                return 0
 
-        src_nodes = self.page_table.nodes_of(movable)
-        for node_id in np.unique(src_nodes):
-            count = int((src_nodes == node_id).sum())
-            self.topology[int(node_id)].tier.release(count)
-        fast.reserve(movable.size)
-        self.page_table.map_pages(movable, self.topology.fast_node.node_id)
+            src_nodes = self.page_table.nodes_of(movable)
+            for node_id in np.unique(src_nodes):
+                count = int((src_nodes == node_id).sum())
+                self.topology[int(node_id)].tier.release(count)
+            fast.reserve(movable.size)
+            self.page_table.map_pages(movable, self.topology.fast_node.node_id)
 
-        # ping-pong accounting: promoted pages that carry PG_demoted
-        demoted_before = self.page_table.demoted_mask(movable)
-        self.stats.ping_pong_events += int(demoted_before.sum())
-        self.page_table.clear_demoted(movable)
+            # ping-pong accounting: promoted pages that carry PG_demoted
+            demoted_before = self.page_table.demoted_mask(movable)
+            ping_pong = int(demoted_before.sum())
+            self.stats.ping_pong_events += ping_pong
+            self.page_table.clear_demoted(movable)
 
-        # promoted pages enter the fast node's lists as recently used
-        self.lru.touch(movable, epoch)
-        self.stats.promoted_pages += int(movable.size)
-        self.stats.stall_ns += movable.size * self.config.page_copy_ns
-        return int(movable.size)
+            # promoted pages enter the fast node's lists as recently used
+            self.lru.touch(movable, epoch)
+            moved = int(movable.size)
+            self.stats.promoted_pages += moved
+            self.stats.stall_ns += moved * self.config.page_copy_ns
+            self._audit(
+                "migration.promote",
+                epoch=epoch,
+                pages=moved,
+                quota_bytes=granted * PAGE_SIZE,
+                ping_pong=ping_pong,
+            )
+            return moved
 
     def promote_huge(self, huge_pages: np.ndarray, epoch: int) -> int:
         """Promote whole 2 MB huge pages (Table VI / THP mode).
@@ -187,42 +204,53 @@ class MigrationEngine:
         huge page moves together, as Linux's huge-page-compatible
         migration functions do.
         """
-        huge_pages = np.unique(np.asarray(huge_pages, dtype=np.int64))
-        if huge_pages.size == 0:
-            return 0
-        granted = self._charge_quota(huge_pages.size, PAGE_SIZE * PAGES_PER_HUGE_PAGE)
-        if granted == 0:
-            return 0
-        moved = 0
-        for huge_page in huge_pages[:granted]:
-            base = int(huge_page) * PAGES_PER_HUGE_PAGE
-            span = np.arange(base, min(base + PAGES_PER_HUGE_PAGE, self.page_table.num_pages))
-            nodes = self.page_table.nodes_of(span)
-            slow_members = span[nodes > 0]
-            if slow_members.size == 0:
-                continue
-            fast = self.topology.fast_node.tier
-            headroom = int(fast.capacity_pages * self.config.fast_free_target)
-            deficit = slow_members.size - (fast.free_pages - headroom)
-            if deficit > 0:
-                self._make_room(deficit, epoch)
-            if fast.free_pages - headroom < slow_members.size:
-                break
-            src_nodes = self.page_table.nodes_of(slow_members)
-            for node_id in np.unique(src_nodes):
-                count = int((src_nodes == node_id).sum())
-                self.topology[int(node_id)].tier.release(count)
-            fast.reserve(slow_members.size)
-            self.page_table.map_pages(slow_members, self.topology.fast_node.node_id)
-            demoted_before = self.page_table.demoted_mask(slow_members)
-            self.stats.ping_pong_events += int(demoted_before.sum())
-            self.page_table.clear_demoted(slow_members)
-            self.lru.touch(slow_members, epoch)
-            moved += 1
-            self.stats.promoted_pages += int(slow_members.size)
-            self.stats.stall_ns += self.config.huge_page_copy_ns
-        self.stats.promoted_huge_pages += moved
-        return moved
+        with self.telemetry.span("migrate"):
+            huge_pages = np.unique(np.asarray(huge_pages, dtype=np.int64))
+            if huge_pages.size == 0:
+                return 0
+            granted = self._charge_quota(huge_pages.size, PAGE_SIZE * PAGES_PER_HUGE_PAGE)
+            if granted == 0:
+                return 0
+            moved = 0
+            base_pages = 0
+            for huge_page in huge_pages[:granted]:
+                base = int(huge_page) * PAGES_PER_HUGE_PAGE
+                span = np.arange(base, min(base + PAGES_PER_HUGE_PAGE, self.page_table.num_pages))
+                nodes = self.page_table.nodes_of(span)
+                slow_members = span[nodes > 0]
+                if slow_members.size == 0:
+                    continue
+                fast = self.topology.fast_node.tier
+                headroom = int(fast.capacity_pages * self.config.fast_free_target)
+                deficit = slow_members.size - (fast.free_pages - headroom)
+                if deficit > 0:
+                    self._make_room(deficit, epoch)
+                if fast.free_pages - headroom < slow_members.size:
+                    break
+                src_nodes = self.page_table.nodes_of(slow_members)
+                for node_id in np.unique(src_nodes):
+                    count = int((src_nodes == node_id).sum())
+                    self.topology[int(node_id)].tier.release(count)
+                fast.reserve(slow_members.size)
+                self.page_table.map_pages(slow_members, self.topology.fast_node.node_id)
+                demoted_before = self.page_table.demoted_mask(slow_members)
+                self.stats.ping_pong_events += int(demoted_before.sum())
+                self.page_table.clear_demoted(slow_members)
+                self.lru.touch(slow_members, epoch)
+                moved += 1
+                base_pages += int(slow_members.size)
+                self.stats.promoted_pages += int(slow_members.size)
+                self.stats.stall_ns += self.config.huge_page_copy_ns
+            self.stats.promoted_huge_pages += moved
+            if moved:
+                self._audit(
+                    "migration.huge_promote",
+                    epoch=epoch,
+                    huge_pages=moved,
+                    pages=base_pages,
+                    quota_bytes=granted * PAGE_SIZE * PAGES_PER_HUGE_PAGE,
+                )
+            return moved
 
     # ------------------------------------------------------------------
     # demotion
@@ -240,42 +268,50 @@ class MigrationEngine:
         for a promotion, the kernel's kswapd path) bypass it by passing
         ``charge_quota=False``.
         """
-        pages = _dedup_keep_order(np.asarray(pages, dtype=np.int64))
-        if pages.size == 0:
-            return 0
-        nodes = self.page_table.nodes_of(pages)
-        movable = pages[nodes == 0]
-        if movable.size == 0:
-            return 0
-        if charge_quota:
-            granted = self._charge_quota(movable.size, PAGE_SIZE)
-            if granted == 0:
+        with self.telemetry.span("migrate"):
+            pages = _dedup_keep_order(np.asarray(pages, dtype=np.int64))
+            if pages.size == 0:
                 return 0
-            movable = movable[:granted]
+            nodes = self.page_table.nodes_of(pages)
+            movable = pages[nodes == 0]
+            if movable.size == 0:
+                return 0
+            if charge_quota:
+                granted = self._charge_quota(movable.size, PAGE_SIZE)
+                if granted == 0:
+                    return 0
+                movable = movable[:granted]
 
-        if target_node is None:
-            targets = [n for n in self.topology.slow_nodes if n.tier.free_pages > 0]
-        else:
-            targets = [self.topology[target_node]]
-        moved = 0
-        cursor = 0
-        for node in targets:
-            take = min(node.tier.free_pages, movable.size - cursor)
-            if take <= 0:
-                continue
-            chunk = movable[cursor : cursor + take]
-            self.topology.fast_node.tier.release(take)
-            node.tier.reserve(take)
-            self.page_table.map_pages(chunk, node.node_id)
-            self.page_table.mark_demoted(chunk)
-            self.lru.forget(chunk)
-            cursor += take
-            moved += take
-            if cursor >= movable.size:
-                break
-        self.stats.demoted_pages += moved
-        self.stats.stall_ns += moved * self.config.page_copy_ns
-        return moved
+            if target_node is None:
+                targets = [n for n in self.topology.slow_nodes if n.tier.free_pages > 0]
+            else:
+                targets = [self.topology[target_node]]
+            moved = 0
+            cursor = 0
+            for node in targets:
+                take = min(node.tier.free_pages, movable.size - cursor)
+                if take <= 0:
+                    continue
+                chunk = movable[cursor : cursor + take]
+                self.topology.fast_node.tier.release(take)
+                node.tier.reserve(take)
+                self.page_table.map_pages(chunk, node.node_id)
+                self.page_table.mark_demoted(chunk)
+                self.lru.forget(chunk)
+                cursor += take
+                moved += take
+                if cursor >= movable.size:
+                    break
+            self.stats.demoted_pages += moved
+            self.stats.stall_ns += moved * self.config.page_copy_ns
+            if moved:
+                self._audit(
+                    "migration.demote",
+                    pages=moved,
+                    quota_bytes=moved * PAGE_SIZE if charge_quota else 0,
+                    reclaim=not charge_quota,
+                )
+            return moved
 
     def coldest_victims(self, count: int, member_mask: np.ndarray) -> np.ndarray:
         """Reclaim candidates within ``member_mask``, coldest first.
@@ -304,6 +340,52 @@ class MigrationEngine:
         return self.demote(candidates, charge_quota=False)
 
     # ------------------------------------------------------------------
+    def _audit(self, kind: str, **args) -> None:
+        """Publish one migration into the metrics registry, and as a
+        structured audit event when tracing is on."""
+        tel = self.telemetry
+        if not tel.enabled:
+            return
+        reg = tel.registry
+        pages = args.get("pages", 0)
+        reg.counter(f"{kind}.events").inc()
+        reg.counter(f"{kind}.pages").inc(pages)
+        reg.histogram(f"{kind}.batch_pages").observe(pages)
+        tel.event(kind, **args)
+
+    # ------------------------------------------------------------------
+    def peek(self) -> MigrationStats:
+        """Copy of the live per-window counters, *without* resetting.
+
+        Observers (the daemon's period accounting, telemetry readouts)
+        use this; only the engine's end-of-epoch accounting is allowed
+        to :meth:`drain_stats`.
+        """
+        s = self.stats
+        return MigrationStats(
+            s.promoted_pages,
+            s.demoted_pages,
+            s.promoted_huge_pages,
+            s.ping_pong_events,
+            s.quota_dropped_pages,
+            s.stall_ns,
+        )
+
     def drain_stats(self) -> MigrationStats:
-        """Snapshot and reset the per-window counters."""
+        """Snapshot and reset the per-window counters.
+
+        Stats must be drained exactly once per accounting window (the
+        engine drains at the end of every epoch, after the per-epoch
+        :meth:`grant_quota`).  A second drain in the same window means
+        two consumers both think they own the reset — each would see
+        half the counts — so it fails loudly; read-only observers use
+        :meth:`peek` instead.
+        """
+        if self._window_drained:
+            raise RuntimeError(
+                "MigrationStats drained twice in one accounting window — "
+                "the engine owns the per-epoch drain; use peek() for "
+                "read-only observation"
+            )
+        self._window_drained = True
         return self.stats.reset()

@@ -112,6 +112,15 @@ class ColocationEngine:
         self.layout.register_with(self.inner.page_table)
         for runtime in self.tenants.values():
             runtime.report.policy = self.arbiter.name
+        # Per-tenant metric partitions: each tenant's epochs publish into
+        # a child registry that forwards to the machine registry, so
+        # tenant counter sums equal machine counters — the same
+        # conservation invariant the epoch metrics obey.
+        self._tenant_registries = (
+            {name: self.inner.telemetry.registry.child() for name in self.tenants}
+            if self.inner.telemetry.enabled
+            else {}
+        )
 
     # ------------------------------------------------------------------
     # convenience accessors
@@ -170,9 +179,15 @@ class ColocationEngine:
             pages, is_write = batch
             global_pages = tenant.namespace.to_global(pages)
             self.arbiter.set_current(tenant.spec.name)
-            metrics = self.inner.step(global_pages, is_write)
+            if self._tenant_registries:
+                with self.inner.telemetry.scoped_registry(
+                    self._tenant_registries[tenant.spec.name]
+                ):
+                    metrics = self.inner.step(global_pages, is_write)
+            else:
+                metrics = self.inner.step(global_pages, is_write)
             tenant.report.append(metrics)
-        return ColocationReport(
+        report = ColocationReport(
             machine=self.inner.report,
             tenants={
                 name: TenantReport(spec=rt.spec, report=rt.report)
@@ -181,3 +196,12 @@ class ColocationEngine:
             scheduler=self.scheduler.name,
             policy_scope=self.qos.policy_scope,
         )
+        if self.inner.telemetry.enabled:
+            report.annotations["telemetry"] = {
+                "machine": self.inner.telemetry.registry.snapshot(),
+                "tenants": {
+                    name: reg.snapshot()
+                    for name, reg in self._tenant_registries.items()
+                },
+            }
+        return report

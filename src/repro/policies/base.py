@@ -52,11 +52,14 @@ class BaseTieringPolicy:
         self.engine = engine
 
     def on_epoch(self, view) -> float:
-        overhead = self._profile(view)
+        tel = view.engine.telemetry
+        with tel.span("profile"):
+            overhead = self._profile(view)
         now_ns = view.sim_time_ns + view.duration_ns
         if now_ns >= self._next_migration_ns:
             self._next_migration_ns = now_ns + self.migration_interval_s * 1e9
             candidates = self._select_promotions(view)
+            tel.counter("policy.promote_candidates").inc(int(candidates.size))
             if self.promotion_filter is not None and candidates.size:
                 candidates = self.promotion_filter(candidates)
             if candidates.size:

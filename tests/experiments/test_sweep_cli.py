@@ -1,9 +1,12 @@
 """Tests for the sweep CLI: the exact flow the CI sharded matrix runs."""
 
+import json
+
 import pytest
 
 from repro.experiments.backends import NUM_SHARDS_ENV, SHARD_ENV
 from repro.experiments.sweep_cli import main
+from repro.telemetry import configure
 
 #: tiny-scale flags so the CLI flow stays test-suite sized
 # fmt: off
@@ -71,6 +74,48 @@ def test_unknown_job_set_rejected(capsys):
 def test_malformed_ratios_rejected(tmp_path):
     with pytest.raises(SystemExit, match="invalid ratio"):
         main(["run", "fig12", "--ratios", "1:2,14", "--cache-dir", str(tmp_path)])
+
+
+def test_trace_subcommand_writes_perfetto_trace(tmp_path, capsys):
+    """`trace` runs the job set instrumented and exports Chrome-trace
+    JSON with the engine's phase spans and migration audit events."""
+    out = tmp_path / "trace.json"
+    try:
+        assert main(
+            ["trace", "fig12", *TINY_FLAGS, "--limit", "2", "--out", str(out)]
+        ) == 0
+    finally:
+        configure("off")
+    document = json.loads(out.read_text())
+    events = document["traceEvents"]
+    assert events, "trace is empty"
+    span_names = {e["name"] for e in events if e["ph"] == "X"}
+    # the per-epoch engine phases all show up...
+    assert {"account", "profile", "plan"} <= span_names
+    # ...and so do the sweep-layer spans
+    assert "sweep.dispatch" in span_names
+    # every engine got its own named lane
+    lanes = {e["args"]["name"] for e in events if e["ph"] == "M"}
+    assert "sweep" in lanes and len(lanes) >= 3
+    assert "traced 2 jobs" in capsys.readouterr().out
+
+
+def test_run_subcommand_exports_trace_when_telemetry_on(tmp_path, capsys):
+    """REPRO_TELEMETRY=trace + `run` produces the Perfetto artifact
+    (the CI sweep-parallel job's trace step)."""
+    out = tmp_path / "sweep-trace.json"
+    configure("trace")
+    try:
+        assert main(
+            ["run", "fig12", *TINY_FLAGS, "--workloads", "gups",
+             "--cache-dir", str(tmp_path / "cache"), "--trace-out", str(out)]
+        ) == 0
+    finally:
+        configure("off")
+    document = json.loads(out.read_text())
+    assert document["otherData"]["mode"] == "trace"
+    assert any(e["ph"] == "X" for e in document["traceEvents"])
+    assert "wrote Chrome trace" in capsys.readouterr().out
 
 
 def test_unsupported_subset_flag_rejected(tmp_path):

@@ -79,3 +79,32 @@ class TestSimulationReport:
         assert report.total_time_s == 0.0
         assert report.throughput_aps == 0.0
         assert report.fast_hit_ratio == 0.0
+
+    def test_zero_epoch_report_summary_is_safe(self):
+        """Regression: a run that produced no epochs (exhausted workload,
+        max_epochs=0) must summarize to zeros, not divide by zero."""
+        summary = SimulationReport(workload="w", policy="p").summary()
+        assert summary["runtime_s"] == 0.0
+        assert summary["throughput_aps"] == 0.0
+        assert summary["fast_hit_ratio"] == 0.0
+
+    def test_zero_duration_epochs_throughput_is_safe(self):
+        report = SimulationReport()
+        report.append(EpochMetrics(duration_ns=0.0, accesses=10))
+        assert report.throughput_aps == 0.0
+
+    def test_summary_includes_phase_seconds_when_telemetry_present(self):
+        report = SimulationReport(workload="w", policy="p")
+        report.append(make_epoch(0))
+        report.annotations["telemetry"] = {
+            "mode": "metrics",
+            "phases": {"account": 2_000_000_000, "plan": 500_000_000},
+        }
+        summary = report.summary()
+        assert summary["phase_account_s"] == pytest.approx(2.0)
+        assert summary["phase_plan_s"] == pytest.approx(0.5)
+
+    def test_summary_without_telemetry_has_no_phase_keys(self):
+        report = SimulationReport()
+        report.append(make_epoch(0))
+        assert not any(k.startswith("phase_") for k in report.summary())

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.memsim.address import PAGE_SIZE, PAGES_PER_HUGE_PAGE
+from repro.memsim.address import PAGES_PER_HUGE_PAGE
 from repro.memsim.lru2q import Lru2Q
 from repro.memsim.migration import MigrationConfig, MigrationEngine
 from repro.memsim.numa import NumaTopology
@@ -170,3 +170,42 @@ class TestStatsDrain:
         assert snap.promoted_pages == 1
         assert eng.stats.promoted_pages == 0
         assert snap.stall_ns > 0
+
+    def test_double_drain_in_one_window_raises(self):
+        topo, pt, lru, eng = build()
+        topo.first_touch_allocate(pt, np.arange(150))
+        eng.grant_quota(1.0)
+        eng.promote(np.array([120]), epoch=0)
+        eng.drain_stats()
+        with pytest.raises(RuntimeError, match="drained twice"):
+            eng.drain_stats()
+
+    def test_grant_quota_reopens_the_window(self):
+        topo, pt, lru, eng = build()
+        topo.first_touch_allocate(pt, np.arange(150))
+        eng.grant_quota(1.0)
+        eng.drain_stats()
+        eng.grant_quota(1.0)  # new epoch, new window
+        eng.promote(np.array([120]), epoch=1)
+        assert eng.drain_stats().promoted_pages == 1
+
+    def test_peek_does_not_reset_or_consume_the_drain(self):
+        topo, pt, lru, eng = build()
+        topo.first_touch_allocate(pt, np.arange(150))
+        eng.grant_quota(1.0)
+        eng.promote(np.array([120, 121]), epoch=0)
+        first = eng.peek()
+        assert first.promoted_pages == 2
+        assert eng.peek() == first  # read-only: repeatable
+        assert eng.stats.promoted_pages == 2  # live counters untouched
+        # peeking never claims the window; the drain still works once
+        snap = eng.drain_stats()
+        assert snap.promoted_pages == 2
+
+    def test_peek_returns_a_copy(self):
+        topo, pt, lru, eng = build()
+        topo.first_touch_allocate(pt, np.arange(150))
+        eng.grant_quota(1.0)
+        snap = eng.peek()
+        snap.promoted_pages = 999
+        assert eng.stats.promoted_pages == 0

@@ -1,0 +1,49 @@
+"""Per-tenant telemetry partitioning in the co-location engine."""
+
+import pytest
+
+from repro.telemetry import configure
+from tests.multitenant.test_colocation_engine import TINY, run_mix
+
+
+@pytest.fixture
+def metrics_mode():
+    configure("metrics")
+    yield
+    configure("off")
+
+
+def test_tenant_registries_partition_machine_registry(metrics_mode):
+    engine, report = run_mix("pebs", num_tenants=3)
+    telemetry = report.annotations["telemetry"]
+    machine = telemetry["machine"]["counters"]
+    tenants = telemetry["tenants"]
+    assert len(tenants) == 3
+    # every counter any tenant published sums exactly to the machine's
+    names = {name for snap in tenants.values() for name in snap["counters"]}
+    assert "engine.epochs" in names
+    for name in names:
+        tenant_sum = sum(snap["counters"].get(name, 0) for snap in tenants.values())
+        assert tenant_sum == machine[name], name
+    # and the epoch counter agrees with the epoch-metrics partition
+    assert machine["engine.epochs"] == len(report.machine.epochs)
+    for name, tr in report.tenants.items():
+        assert tenants[name]["counters"]["engine.epochs"] == len(tr.report.epochs)
+
+
+def test_tenant_histograms_partition_machine_histograms(metrics_mode):
+    engine, report = run_mix("pebs", num_tenants=2)
+    telemetry = report.annotations["telemetry"]
+    machine = telemetry["machine"]["histograms"]["engine.epoch_sim_ns"]
+    per_tenant = [
+        snap["histograms"]["engine.epoch_sim_ns"]
+        for snap in telemetry["tenants"].values()
+    ]
+    assert machine["count"] == sum(h["count"] for h in per_tenant)
+    assert machine["total"] == sum(h["total"] for h in per_tenant)
+
+
+def test_off_mode_colocation_has_no_telemetry_annotation():
+    configure("off")
+    engine, report = run_mix("pebs", num_tenants=2, config=TINY)
+    assert "telemetry" not in report.annotations

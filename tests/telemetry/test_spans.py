@@ -1,0 +1,153 @@
+"""Span timers: exclusive-time accounting, modes, noop identity."""
+
+import pytest
+
+from repro.telemetry import (
+    DISABLED,
+    MODE_METRICS,
+    MODE_OFF,
+    MODE_TRACE,
+    NOOP_METRIC,
+    NOOP_SPAN,
+    Telemetry,
+    TraceBuffer,
+    parse_mode,
+)
+
+
+class FakeClock:
+    """Deterministic ns clock: each tick advances by a scripted delta."""
+
+    def __init__(self):
+        self.now = 0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, ns):
+        self.now += ns
+
+
+def make_tel(mode=MODE_METRICS, trace=None):
+    clock = FakeClock()
+    return Telemetry(mode, trace=trace, clock=clock), clock
+
+
+class TestModes:
+    def test_parse_mode_aliases(self):
+        assert parse_mode(None) == MODE_OFF
+        assert parse_mode("off") == MODE_OFF
+        assert parse_mode("on") == MODE_METRICS
+        assert parse_mode("metrics") == MODE_METRICS
+        assert parse_mode("TRACE") == MODE_TRACE
+        assert parse_mode(MODE_TRACE) == MODE_TRACE
+
+    def test_parse_mode_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            parse_mode("verbose")
+        with pytest.raises(ValueError):
+            parse_mode(7)
+
+    def test_disabled_hands_out_shared_noops(self):
+        assert DISABLED.span("x") is NOOP_SPAN
+        assert DISABLED.counter("c") is NOOP_METRIC
+        assert DISABLED.gauge("g") is NOOP_METRIC
+        assert DISABLED.histogram("h") is NOOP_METRIC
+        assert not DISABLED.enabled
+        # noops accept every operation silently
+        with DISABLED.span("x"):
+            DISABLED.counter("c").inc(5)
+            DISABLED.gauge("g").set(1.0)
+            DISABLED.histogram("h").observe(3)
+        assert DISABLED.registry.snapshot()["counters"] == {}
+
+
+class TestExclusiveTime:
+    def test_flat_span_records_full_duration(self):
+        tel, clock = make_tel()
+        with tel.span("account"):
+            clock.advance(100)
+        assert tel.phase_totals() == {"account": 100}
+
+    def test_nested_span_subtracted_from_parent(self):
+        tel, clock = make_tel()
+        with tel.span("plan"):
+            clock.advance(10)
+            with tel.span("migrate"):
+                clock.advance(70)
+            clock.advance(20)
+        totals = tel.phase_totals()
+        assert totals["migrate"] == 70
+        assert totals["plan"] == 30  # 100 total - 70 child
+        assert sum(totals.values()) == 100
+
+    def test_sibling_spans_both_subtracted(self):
+        tel, clock = make_tel()
+        with tel.span("plan"):
+            with tel.span("migrate"):
+                clock.advance(5)
+            with tel.span("migrate"):
+                clock.advance(5)
+            clock.advance(3)
+        totals = tel.phase_totals()
+        assert totals["migrate"] == 10
+        assert totals["plan"] == 3
+
+    def test_call_counts(self):
+        tel, clock = make_tel()
+        for _ in range(4):
+            with tel.span("profile"):
+                clock.advance(1)
+        assert tel.registry.counter("phase.profile.calls").value == 4
+
+    def test_summary_contains_phases(self):
+        tel, clock = make_tel()
+        with tel.span("account"):
+            clock.advance(9)
+        summary = tel.summary()
+        assert summary["mode"] == "metrics"
+        assert summary["phases"] == {"account": 9}
+        assert "counters" in summary
+
+
+class TestTraceMode:
+    def test_spans_and_events_recorded(self):
+        buf = TraceBuffer()
+        tel, clock = make_tel(MODE_TRACE, trace=buf)
+        with tel.span("plan"):
+            clock.advance(50)
+            tel.event("migration.promote", pages=8)
+        phases = [e[0] for e in buf.events]
+        assert phases == ["i", "X"]  # instant inside, span closed after
+
+    def test_metrics_mode_skips_trace_buffer(self):
+        buf = TraceBuffer()
+        tel, clock = make_tel(MODE_METRICS, trace=buf)
+        with tel.span("plan"):
+            clock.advance(1)
+        tel.event("x")
+        assert buf.events == []
+
+    def test_buffer_overflow_drops_and_counts(self):
+        buf = TraceBuffer(max_events=2)
+        tel, clock = make_tel(MODE_TRACE, trace=buf)
+        for _ in range(5):
+            with tel.span("s"):
+                clock.advance(1)
+        assert len(buf.events) == 2
+        assert buf.dropped == 3
+
+
+class TestScopedRegistry:
+    def test_scoped_registry_reroutes_and_restores(self):
+        tel, clock = make_tel()
+        machine = tel.registry
+        tenant = machine.child()
+        with tel.scoped_registry(tenant):
+            with tel.span("account"):
+                clock.advance(5)
+            tel.counter("engine.epochs").inc()
+        assert tel.registry is machine
+        assert tenant.counter("engine.epochs").value == 1
+        assert machine.counter("engine.epochs").value == 1  # forwarded
+        assert machine.counter("phase.account.ns").value == 5

@@ -1,0 +1,103 @@
+"""Chrome-trace JSON schema and the JSONL run manifest."""
+
+import json
+
+from repro.telemetry import (
+    MODE_TRACE,
+    Telemetry,
+    TraceBuffer,
+    append_manifest,
+    chrome_trace_events,
+    export_chrome_trace,
+    git_revision,
+    manifest_record,
+    read_manifest,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, ns):
+        self.now += ns
+
+
+def traced_telemetry():
+    buf = TraceBuffer()
+    clock = FakeClock()
+    tel = Telemetry(MODE_TRACE, trace=buf, track=buf.new_track("gups/neomem"), clock=clock)
+    with tel.span("plan"):
+        clock.advance(2500)
+        tel.event("migration.promote", pages=4, quota_bytes=16384)
+    return tel
+
+
+class TestChromeTrace:
+    def test_event_schema(self):
+        events = chrome_trace_events(traced_telemetry())
+        by_ph = {}
+        for e in events:
+            by_ph.setdefault(e["ph"], []).append(e)
+        # metadata names both lanes (sweep lane 0 + the engine lane)
+        labels = {m["args"]["name"] for m in by_ph["M"]}
+        assert labels == {"sweep", "gups/neomem"}
+        (span,) = by_ph["X"]
+        assert span["name"] == "plan"
+        assert span["dur"] == 2.5  # us
+        assert span["cat"] == "repro"
+        (instant,) = by_ph["i"]
+        assert instant["name"] == "migration.promote"
+        assert instant["s"] == "t"
+        assert instant["args"] == {"pages": 4, "quota_bytes": 16384}
+        # spans and instants share the engine lane
+        assert span["tid"] == instant["tid"]
+
+    def test_export_round_trip(self, tmp_path):
+        path = tmp_path / "trace.json"
+        document = export_chrome_trace(path, traced_telemetry())
+        loaded = json.loads(path.read_text())
+        assert loaded == json.loads(json.dumps(document))
+        assert loaded["displayTimeUnit"] == "ms"
+        assert loaded["otherData"]["mode"] == "trace"
+        assert loaded["otherData"]["dropped_events"] == 0
+        assert isinstance(loaded["traceEvents"], list)
+        # every event carries the Trace Event Format required keys
+        for event in loaded["traceEvents"]:
+            assert {"name", "ph", "pid", "tid"} <= set(event)
+            if event["ph"] == "X":
+                assert "ts" in event and "dur" in event
+
+    def test_untraced_telemetry_exports_empty(self):
+        document = export_chrome_trace(None, Telemetry("metrics"))
+        assert document["traceEvents"] == []
+
+
+class TestManifest:
+    def test_record_lifts_telemetry_phases(self):
+        class Result:
+            annotations = {"telemetry": {"phases": {"account": 10, "plan": 5}}}
+            total_time_s = 1.25
+
+        record = manifest_record("abc123", "gups/neomem", 42, Result())
+        assert record["key"] == "abc123"
+        assert record["label"] == "gups/neomem"
+        assert record["seed"] == 42
+        assert record["phase_ns"] == {"account": 10, "plan": 5}
+        assert record["runtime_s"] == 1.25
+        assert record["git_rev"] == git_revision()
+
+    def test_record_without_telemetry(self):
+        record = manifest_record("k", "l", None, object())
+        assert record["phase_ns"] is None
+        assert record["runtime_s"] is None
+
+    def test_append_and_read(self, tmp_path):
+        append_manifest(tmp_path, {"key": "a", "seed": 1})
+        append_manifest(tmp_path, {"key": "b", "seed": 2})
+        records = read_manifest(tmp_path)
+        assert [r["key"] for r in records] == ["a", "b"]
+        assert read_manifest(tmp_path / "missing") == []
