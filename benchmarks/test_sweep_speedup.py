@@ -110,6 +110,10 @@ def test_sweep_parallel_speedup(benchmark, tmp_path):
             "batch_size": BENCH_CONFIG.batch_size,
         },
     }
+    if os.environ.get("REPRO_BENCH_BASELINE_RESET"):
+        # deliberate baseline change: the regression gate restarts its
+        # comparison history at this record (see trajectory.evaluate_gate)
+        record["baseline_reset"] = True
     records = append_record(BENCH_JSON, record)
     print()
     print(

@@ -137,13 +137,7 @@ class NeoMemDaemon:
                     overhead_ns += promoted * cfg.syscall_ns_per_page
 
         # 3. watermark demotion keeps promotion headroom available
-        fast = view.topology.fast_node.tier
-        if fast.free_pages < fast.capacity_pages * cfg.demotion_watermark:
-            want = int(fast.capacity_pages * cfg.demotion_target) - fast.free_pages
-            member_mask = view.page_table.node_of_page == 0
-            victims = view.lru.coldest(want, member_mask)
-            demoted = view.migration.demote(victims, charge_quota=False)
-            overhead_ns += demoted * cfg.syscall_ns_per_page
+        overhead_ns += self._watermark_demotion(view)
 
         # period accounting (this epoch's migration activity so far; the
         # engine drains the stats after on_epoch returns, so peek())
@@ -163,6 +157,25 @@ class NeoMemDaemon:
 
         overhead_ns += self.driver.drain_cpu_overhead_ns()
         return overhead_ns
+
+    # ------------------------------------------------------------------
+    def _watermark_demotion(self, view) -> float:
+        """Demote the coldest fast-node pages when free headroom dips.
+
+        Victim membership keys off the topology's actual fast-node id —
+        not literal node 0 — so a remapped fast node (non-default
+        topologies, multi-socket layouts) still demotes its own pages
+        instead of evicting a slow node's.
+        """
+        cfg = self.config
+        fast = view.topology.fast_node.tier
+        if fast.free_pages >= fast.capacity_pages * cfg.demotion_watermark:
+            return 0.0
+        want = int(fast.capacity_pages * cfg.demotion_target) - fast.free_pages
+        member_mask = view.page_table.node_of_page == view.topology.fast_node.node_id
+        victims = view.lru.coldest(want, member_mask)
+        demoted = view.migration.demote(victims, charge_quota=False)
+        return demoted * cfg.syscall_ns_per_page
 
     # ------------------------------------------------------------------
     def _promote_thp(self, view, hot_pages: np.ndarray) -> float:

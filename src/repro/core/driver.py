@@ -33,14 +33,16 @@ class NeoProfDriver:
 
     # ------------------------------------------------------------------
     def read_hot_pages(self, max_pages: int | None = None) -> np.ndarray:
-        """Drain the hot-page FIFO: GetNrHotPage then GetHotPage xN."""
+        """Drain the hot-page FIFO: GetNrHotPage then GetHotPage xN.
+
+        The N ``GetHotPage`` reads go through the device's batched drain,
+        which charges the same N MMIO round trips of host stall without N
+        simulator-level dispatches.
+        """
         pending = self.device.mmio_read(NeoProfCommand.GET_NR_HOT_PAGE)
         if max_pages is not None:
             pending = min(pending, max_pages)
-        pages = np.empty(pending, dtype=np.int64)
-        for i in range(pending):
-            pages[i] = self.device.mmio_read(NeoProfCommand.GET_HOT_PAGE)
-        return pages
+        return self.device.drain_hot_pages(pending)
 
     def read_state(self) -> StateSample:
         """Read the bandwidth counters (GetNrSample/GetRdCnt/GetWrCnt)."""
@@ -53,8 +55,7 @@ class NeoProfDriver:
         """Trigger and read the histogram (SetHistEn, GetNrHistBin, GetHist xN)."""
         self.device.mmio_write(NeoProfCommand.SET_HIST_EN, 1)
         num_bins = self.device.mmio_read(NeoProfCommand.GET_NR_HIST_BIN)
-        for _ in range(num_bins):
-            self.device.mmio_read(NeoProfCommand.GET_HIST)
+        self.device.read_hist_bins(num_bins)
         # The driver reconstructs the snapshot; bin counts travelled over
         # MMIO, edges are implied by the device's shift-based bin width.
         snapshot = self.device.last_histogram

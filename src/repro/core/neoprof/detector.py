@@ -10,8 +10,6 @@ A full buffer drops reports (and counts the drops), exactly like the
 
 from __future__ import annotations
 
-from collections import deque
-
 import numpy as np
 
 from repro.core.neoprof.sketch import CountMinSketch
@@ -42,7 +40,12 @@ class HotPageDetector:
         self.buffer_entries = int(buffer_entries)
         #: ablation switch for the Fig. 7 hot-bit filter
         self.dedup_filter = bool(dedup_filter)
-        self._buffer: deque[int] = deque()
+        # FIFO modelled as a deque of numpy chunks (one per enqueue) plus
+        # a read offset into the oldest chunk, so batches enqueue and
+        # drain without ever converting pages to Python ints.
+        self._chunks: list[np.ndarray] = []
+        self._consumed = 0
+        self._pending = 0
         self.dropped_reports = 0
         self.detected_total = 0
 
@@ -65,47 +68,80 @@ class HotPageDetector:
         pages = np.asarray(pages, dtype=np.uint64)
         if pages.size == 0:
             return 0
-        self.sketch.update_batch(pages)
-        unique = np.unique(pages)
-        estimates = self.sketch.estimate_batch(unique)
-        hot = unique[estimates > self.threshold]
-        if hot.size == 0:
+        # One pass of the H3 units feeds the whole pipeline: hash the
+        # distinct pages once, fold their multiplicities into the update,
+        # and reuse the columns for the estimate and both hot-bit ops.
+        unique, counts = self._unique_counts(pages)
+        cols = self.sketch.hash_cols(unique)
+        flat = self.sketch.flat_index(cols)
+        estimates = self.sketch.update_estimate_batch(unique, counts=counts, flat=flat)
+        hot_sel = estimates > self.threshold
+        if not hot_sel.any():
             return 0
+        hot = unique[hot_sel]
+        hot_flat = flat[:, hot_sel]
         # Hot-page filter: drop pages whose hot bits are all already set.
         if self.dedup_filter:
-            already_reported = self.sketch.hot_bits_all_set(hot)
-            fresh = hot[~already_reported]
-            if fresh.size == 0:
+            keep = ~self.sketch.hot_bits_all_set(hot, flat=hot_flat)
+            if not keep.any():
                 return 0
-            self.sketch.set_hot_bits(fresh)
+            fresh = hot[keep]
+            self.sketch.set_hot_bits(fresh, flat=hot_flat[:, keep])
         else:
             fresh = hot
-        queued = 0
-        for page in fresh:
-            if len(self._buffer) >= self.buffer_entries:
-                self.dropped_reports += int(fresh.size) - queued
-                break
-            self._buffer.append(int(page))
-            queued += 1
+        room = self.buffer_entries - self.pending
+        queued = min(int(fresh.size), max(room, 0))
+        if queued < fresh.size:
+            self.dropped_reports += int(fresh.size) - queued
+        if queued:
+            self._chunks.append(fresh[:queued].astype(np.int64))
+            self._pending += queued
         self.detected_total += queued
         return queued
+
+    @staticmethod
+    def _unique_counts(pages: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Sorted distinct pages and their multiplicities.
+
+        Dense batches (page ids small relative to the batch) count with
+        one O(n + max) bincount pass instead of the O(n log n) sort in
+        ``np.unique``; both produce identical sorted output.
+        """
+        hi = int(pages.max()) + 1
+        if hi <= 4 * pages.size:
+            full = np.bincount(pages.astype(np.int64), minlength=hi)
+            unique = np.nonzero(full)[0]
+            return unique.astype(np.uint64), full[unique]
+        return np.unique(pages, return_counts=True)
 
     # ------------------------------------------------------------------
     @property
     def pending(self) -> int:
         """Host command ``GetNrHotPage``."""
-        return len(self._buffer)
+        return self._pending
 
     def drain(self, max_pages: int | None = None) -> np.ndarray:
         """Pop up to ``max_pages`` queued hot pages (``GetHotPage`` loop)."""
-        count = len(self._buffer) if max_pages is None else min(max_pages, len(self._buffer))
+        avail = self._pending
+        count = avail if max_pages is None else min(max_pages, avail)
         out = np.empty(count, dtype=np.int64)
-        for i in range(count):
-            out[i] = self._buffer.popleft()
+        filled = 0
+        while filled < count:
+            chunk = self._chunks[0]
+            take = min(chunk.size - self._consumed, count - filled)
+            out[filled : filled + take] = chunk[self._consumed : self._consumed + take]
+            filled += take
+            self._consumed += take
+            if self._consumed >= chunk.size:
+                self._chunks.pop(0)
+                self._consumed = 0
+        self._pending -= count
         return out
 
     def clear(self) -> None:
         """Host command ``Reset``: counters, hot bits and buffer."""
         self.sketch.clear()
-        self._buffer.clear()
+        self._chunks = []
+        self._consumed = 0
+        self._pending = 0
         self.dropped_reports = 0

@@ -105,8 +105,10 @@ class NeoProfDevice:
         elif command is NeoProfCommand.SET_THRESHOLD:
             self.detector.set_threshold(int(value))
         elif command is NeoProfCommand.SET_HIST_EN:
-            counters = self.detector.sketch.lane_counters(0)
-            self._histogram = self.histogram_unit.compute(counters)
+            sketch = self.detector.sketch
+            self._histogram = self.histogram_unit.compute_sparse(
+                sketch.lane_valid_counters(0), sketch.width
+            )
             self._hist_read_cursor = 0
 
     def mmio_read(self, offset: int) -> int:
@@ -136,6 +138,37 @@ class NeoProfDevice:
             self._hist_read_cursor += 1
             return value
         raise MmioError(f"unhandled command {command.name}")  # pragma: no cover
+
+    def read_hist_bins(self, count: int) -> np.ndarray:
+        """Batched ``GetHist``: read ``count`` bins from the cursor.
+
+        Charges ``count`` MMIO round trips of host stall, exactly like
+        ``count`` individual ``mmio_read(GET_HIST)`` calls — the batching
+        only removes the per-bin simulator dispatch.
+        """
+        if self._histogram is None:
+            raise MmioError("histogram not computed; write SetHistEn first")
+        count = int(count)
+        if self._hist_read_cursor + count > len(self._histogram.counts):
+            raise MmioError("histogram read past the last bin")
+        start = self._hist_read_cursor
+        self._hist_read_cursor += count
+        self.mmio_time_ns += self.config.mmio_latency_ns * count
+        return self._histogram.counts[start : start + count]
+
+    def drain_hot_pages(self, count: int) -> np.ndarray:
+        """Batched ``GetHotPage``: drain up to ``count`` FIFO entries.
+
+        Each drained entry is one MMIO round trip on the wire, so the
+        host-visible stall charged is identical to ``count`` individual
+        ``mmio_read(GET_HOT_PAGE)`` calls — the batching only removes the
+        per-entry simulator dispatch, not the modelled latency.
+        """
+        count = min(int(count), self.detector.pending)
+        if count <= 0:
+            return np.zeros(0, dtype=np.int64)
+        self.mmio_time_ns += self.config.mmio_latency_ns * count
+        return self.detector.drain(count)
 
     # ------------------------------------------------------------------
     @property

@@ -7,13 +7,23 @@ an ``n x m``-bit seed matrix ``pi``::
 
 i.e. the XOR of the seed rows selected by the set bits of ``x``.  In
 hardware this is an AND-XOR reduction tree split into pipeline stages;
-here it is a vectorized numpy loop over input bits, which preserves the
-exact arithmetic.
+here the reduction is precomputed into byte-chunk lookup tables: the
+input splits into ``ceil(n/8)`` bytes and each byte selects one
+256-entry table holding the XOR of that chunk's seed rows for every
+byte value.  XOR is associative and commutative, so the table-gather
+formulation is bit-for-bit identical to the per-bit AND-XOR loop (the
+scalar :meth:`H3HashFamily.hash_one` keeps the reference arithmetic).
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+#: dense prefix tables shared across instances: the table is a pure
+#: function of (input_bits, width, num_hashes, seed), and a sweep builds
+#: one identical H3 family per job.  Values are read-only.
+_DENSE_TABLE_CACHE: dict[tuple[int, int, int, int], np.ndarray] = {}
+_DENSE_TABLE_CACHE_MAX = 8
 
 
 class H3HashFamily:
@@ -42,6 +52,29 @@ class H3HashFamily:
         rng = np.random.default_rng(seed)
         # pi[d, i] is the m-bit seed row for bit i of hash d.
         self._pi = rng.integers(0, width, size=(num_hashes, input_bits), dtype=np.uint64)
+        # Byte-chunk tables: tables[c][d, b] is the XOR of the seed rows
+        # of chunk c's bits selected by byte value b.  Built by doubling:
+        # each new bit XORs its row into a copy of the table so far.
+        self._input_mask = np.uint64((1 << self.input_bits) - 1)
+        self._num_chunks = (self.input_bits + 7) // 8
+        tables = np.zeros((self._num_chunks, num_hashes, 256), dtype=np.uint64)
+        for chunk in range(self._num_chunks):
+            filled = 1
+            for j in range(min(8, self.input_bits - 8 * chunk)):
+                row = self._pi[:, 8 * chunk + j]
+                tables[chunk, :, filled : 2 * filled] = (
+                    tables[chunk, :, :filled] ^ row[:, None]
+                )
+                filled *= 2
+        self._tables = tables
+        # Lazily built full hash table over a small input prefix: batches
+        # of page numbers (as opposed to full physical addresses) draw
+        # from a tiny id space, where one gather per batch beats the
+        # chunked gather-XOR recomputation.  Built from hash_batch itself,
+        # so it is bit-identical by construction.
+        self._dense: np.ndarray | None = None
+        self._dense_size = min(1 << 16, 1 << self.input_bits)
+        self._dense_key = (self.input_bits, self.width, self.num_hashes, int(seed))
 
     def hash_one(self, value: int, which: int) -> int:
         """Hash a single value with function ``which`` (reference path)."""
@@ -58,15 +91,27 @@ class H3HashFamily:
         Returns an array of shape ``(num_hashes, len(values))`` of column
         indices in ``[0, width)``.
         """
-        values = np.asarray(values, dtype=np.uint64)
-        out = np.zeros((self.num_hashes, values.size), dtype=np.uint64)
-        for bit in range(self.input_bits):
-            mask = (values >> np.uint64(bit)) & np.uint64(1)
-            if not mask.any():
-                continue
-            # XOR in pi[:, bit] wherever the bit is set.
-            contribution = self._pi[:, bit : bit + 1] * mask[np.newaxis, :]
-            out ^= contribution
+        values = np.asarray(values, dtype=np.uint64) & self._input_mask
+        if values.size and int(values.max()) < self._dense_size:
+            if self._dense is None:
+                dense = _DENSE_TABLE_CACHE.get(self._dense_key)
+                if dense is None:
+                    dense = self._hash_chunks(np.arange(self._dense_size, dtype=np.uint64))
+                    dense.setflags(write=False)
+                    while len(_DENSE_TABLE_CACHE) >= _DENSE_TABLE_CACHE_MAX:
+                        _DENSE_TABLE_CACHE.pop(next(iter(_DENSE_TABLE_CACHE)))
+                    _DENSE_TABLE_CACHE[self._dense_key] = dense
+                self._dense = dense
+            return self._dense[:, values.astype(np.intp)]
+        return self._hash_chunks(values)
+
+    def _hash_chunks(self, values: np.ndarray) -> np.ndarray:
+        """Chunked table-gather hash of already-masked ``values``."""
+        byte = (values & np.uint64(0xFF)).astype(np.intp)
+        out = self._tables[0][:, byte]  # fancy gather copies: (D, n)
+        for chunk in range(1, self._num_chunks):
+            byte = ((values >> np.uint64(8 * chunk)) & np.uint64(0xFF)).astype(np.intp)
+            out ^= self._tables[chunk][:, byte]
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

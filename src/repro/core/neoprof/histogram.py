@@ -80,7 +80,21 @@ class HistogramUnit:
         instead of one inflated to the bin width.  Bins 1..N-1 cover
         ``[1, max]`` with a power-of-two width (a shift in hardware).
         """
-        counters = np.asarray(counters, dtype=np.int64)
+        return self.compute_sparse(counters, np.asarray(counters).size)
+
+    def compute_sparse(self, values: np.ndarray, total_entries: int) -> HistogramSnapshot:
+        """Histogram a row given only its potentially-nonzero counters.
+
+        ``values`` holds the counters of the row's *valid* entries (any
+        order); the remaining ``total_entries - len(values)`` entries are
+        implicitly zero.  Produces a snapshot identical to
+        :meth:`compute` over the full ``total_entries``-sized row — bin 0
+        counts every zero whether passed explicitly or implied — while
+        letting a lightly loaded sketch skip the full-row scan.
+        """
+        counters = np.asarray(values)
+        if counters.dtype.kind not in "iu":
+            counters = counters.astype(np.int64)
         self.computations += 1
         max_value = int(counters.max(initial=0))
         # smallest power-of-two width such that bins 1..N-1 reach max
@@ -90,10 +104,16 @@ class HistogramUnit:
         edges = np.empty(self.num_bins + 1, dtype=np.int64)
         edges[0] = 0
         edges[1:] = 1 + np.arange(self.num_bins, dtype=np.int64) * width
-        counts, _ = np.histogram(counters, bins=edges)
-        # np.histogram treats the last edge as inclusive, matching the
-        # hardware's saturating top bin.
-        return HistogramSnapshot(edges=edges, counts=counts.astype(np.int64))
+        # Bin with the shift directly (the hardware's actual datapath)
+        # instead of np.histogram, which sorts the whole row: non-zero
+        # counter c lands in bin (c - 1) >> log2(width) + 1, and the
+        # chosen width guarantees the top bin is never exceeded.
+        nonzero = counters[counters > 0]
+        shift = width.bit_length() - 1
+        counts = np.bincount((nonzero - 1) >> shift, minlength=self.num_bins - 1)
+        zeros = int(total_entries) - nonzero.size
+        counts = np.concatenate(([zeros], counts)).astype(np.int64)
+        return HistogramSnapshot(edges=edges, counts=counts)
 
 
 def tight_error_bound(hist: HistogramSnapshot, depth: int, delta: float = 0.25) -> float:

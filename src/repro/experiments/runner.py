@@ -24,6 +24,166 @@ from repro.policies import make_policy
 from repro.workloads import make_workload
 
 
+#: completed (pages, is_write) epoch streams keyed by workload config +
+#: seed.  A sweep grid runs the same trace under every system/ratio, and
+#: the engine's rng feeds nothing but ``next_batch`` — so a finished
+#: trace is a pure function of its key and replaying it is bit-identical
+#: to regenerating it.  Bounded to keep resident traces small.
+_TRACE_CACHE: dict[tuple, list] = {}
+_TRACE_CACHE_MAX = 8
+
+#: per-epoch account products derived purely from a trace and the LLC
+#: filter parameters: ``(miss_mask, miss_pages, miss_is_write, touched)``
+#: per epoch.  The LLC filter sees only the access stream — placement,
+#: policy and tier ratio never feed back into it — so jobs replaying the
+#: same trace on the same filter geometry skip the whole filter pipeline.
+_DERIVED_CACHE: dict[tuple, list] = {}
+_DERIVED_CACHE_MAX = 4
+
+
+class _EpochAccountMemo:
+    """Record or replay the engine's per-epoch account products.
+
+    Entries are copied on both put and get so neither the engine nor a
+    policy mutating an ``EpochView`` array can corrupt the shared cache.
+    """
+
+    def __init__(self, entries: list, record: bool) -> None:
+        self._entries = entries
+        self._record = record
+
+    def get(self, epoch: int):
+        if self._record or epoch >= len(self._entries):
+            return None
+        return tuple(a.copy() for a in self._entries[epoch])
+
+    def put(self, epoch: int, miss_mask, miss_pages, miss_is_write, touched) -> None:
+        if self._record and epoch == len(self._entries):
+            self._entries.append(
+                (miss_mask.copy(), miss_pages.copy(), miss_is_write.copy(), touched.copy())
+            )
+
+
+def _workload_trace_key(workload, seed: int) -> tuple | None:
+    """Hashable identity of a workload's full trace, or None if the
+    workload carries state a key cannot capture."""
+    parts: list = [type(workload).__module__, type(workload).__qualname__, int(seed)]
+    for name, value in sorted(vars(workload).items()):
+        if name == "emitted":
+            continue
+        if isinstance(value, np.ndarray):
+            parts.append((name, value.dtype.str, value.shape, value.tobytes()))
+        elif isinstance(value, (bool, int, float, str, type(None))):
+            parts.append((name, value))
+        else:
+            return None
+    return tuple(parts)
+
+
+class _ReplayWorkload:
+    """Serves a recorded trace; everything else proxies to the inner
+    workload.  Batches are handed out as fresh copies so a consumer
+    mutating them cannot corrupt the cache."""
+
+    def __init__(self, inner, trace: list) -> None:
+        self._inner = inner
+        self._trace = trace
+
+    def next_batch(self, rng):
+        del rng  # the recorded run already consumed the stream
+        if self._inner.emitted >= len(self._trace):
+            return None
+        pages, is_write = self._trace[self._inner.emitted]
+        self._inner.emitted += 1
+        return pages.copy(), is_write.copy()
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class _RecordingWorkload:
+    """Passes batches through while recording them; publishes the trace
+    to the cache only once the workload runs to completion."""
+
+    def __init__(self, inner, key: tuple) -> None:
+        self._inner = inner
+        self._key = key
+        self._recorded: list = []
+
+    def next_batch(self, rng):
+        batch = self._inner.next_batch(rng)
+        if batch is None:
+            while len(_TRACE_CACHE) >= _TRACE_CACHE_MAX:
+                _TRACE_CACHE.pop(next(iter(_TRACE_CACHE)))
+            _TRACE_CACHE[self._key] = self._recorded
+        else:
+            self._recorded.append((batch[0].copy(), batch[1].copy()))
+        return batch
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+def _with_trace_cache(workload, seed: int):
+    """Wrap a fresh workload for trace replay or recording."""
+    if getattr(workload, "emitted", None) != 0:
+        return workload
+    key = _workload_trace_key(workload, seed)
+    if key is None:
+        return workload
+    trace = _TRACE_CACHE.get(key)
+    if trace is not None:
+        return _ReplayWorkload(workload, trace)
+    return _RecordingWorkload(workload, key)
+
+
+def _attach_trace_and_memo(workload, engine):
+    """Wire the trace cache and the derived account memo into an engine.
+
+    Returns ``(wrapped_workload, publish)``; ``publish`` (or None) must
+    be called after the run to commit newly recorded memo entries.  Memo
+    entries are only published when they cover a *complete* trace, so a
+    ``max_epochs``-truncated run can never leave a partial memo that a
+    later, longer run would fall off the end of with cold filter state.
+    """
+    seed = engine.config.seed
+    if getattr(workload, "emitted", None) != 0:
+        return workload, None
+    key = _workload_trace_key(workload, seed)
+    if key is None:
+        return workload, None
+    cache = engine.cache
+    dkey = (key, cache.capacity_pages, cache.max_page_id, cache.lines_per_page)
+    trace = _TRACE_CACHE.get(key)
+    if trace is not None:
+        entries = _DERIVED_CACHE.get(dkey)
+        if entries is not None:
+            engine.account_memo = _EpochAccountMemo(entries, record=False)
+            return _ReplayWorkload(workload, trace), None
+        fresh: list = []
+        engine.account_memo = _EpochAccountMemo(fresh, record=True)
+
+        def publish_replay() -> None:
+            if len(fresh) == len(trace):
+                while len(_DERIVED_CACHE) >= _DERIVED_CACHE_MAX:
+                    _DERIVED_CACHE.pop(next(iter(_DERIVED_CACHE)))
+                _DERIVED_CACHE[dkey] = fresh
+
+        return _ReplayWorkload(workload, trace), publish_replay
+
+    fresh = []
+    engine.account_memo = _EpochAccountMemo(fresh, record=True)
+
+    def publish_recording() -> None:
+        full = _TRACE_CACHE.get(key)
+        if full is not None and len(fresh) == len(full):
+            while len(_DERIVED_CACHE) >= _DERIVED_CACHE_MAX:
+                _DERIVED_CACHE.pop(next(iter(_DERIVED_CACHE)))
+            _DERIVED_CACHE[dkey] = fresh
+
+    return _RecordingWorkload(workload, key), publish_recording
+
+
 def workload_pages(name: str, config: ExperimentConfig) -> int:
     """Per-benchmark RSS in pages, scaled like the paper's 10-20 GB."""
     factor = WORKLOAD_RSS_FACTOR.get(name, 1.0)
@@ -231,7 +391,10 @@ def run_one(
     )
     if prefill:
         warm_first_touch(engine)
+    engine.workload, publish_memo = _attach_trace_and_memo(workload, engine)
     report = engine.run()
+    if publish_memo is not None:
+        publish_memo()
     if keep_engine:
         report.annotations["policy_object"] = engine.policy
         report.annotations["engine"] = engine

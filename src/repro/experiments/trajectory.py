@@ -135,14 +135,28 @@ def evaluate_gate(
     With fewer than ``min_records`` priors every verdict is advisory:
     the gate reports but exits 0, accumulating history instead of
     blocking on statistics it does not yet have.
+
+    A record carrying ``"baseline_reset": true`` marks a deliberate
+    performance-baseline change (a major optimization or a bench-config
+    change): comparison history restarts there.  Records before the most
+    recent reset are ignored — mixing the old baseline into the band
+    would both mask regressions against the new one and flag the next
+    ordinary run as a huge improvement/regression depending on direction.
     """
     lines: list[str] = []
+    for i in range(len(records) - 1, -1, -1):
+        if records[i].get("baseline_reset"):
+            if i > 0:
+                lines.append(
+                    f"baseline reset at record {i}: ignoring {i} earlier record(s)"
+                )
+            records = records[i:]
+            break
     if len(records) < 2:
-        return GateVerdict(
-            ok=True,
-            advisory=True,
-            lines=[f"trajectory has {len(records)} record(s); nothing to compare"],
+        lines.append(
+            f"trajectory has {len(records)} comparable record(s); nothing to compare"
         )
+        return GateVerdict(ok=True, advisory=True, lines=lines)
     *priors, newest = records
     advisory = len(priors) < min_records
     if advisory:
@@ -194,7 +208,8 @@ def _cmd_show(args) -> int:
             if isinstance(record.get(name), (int, float))
         )
         rev = record.get("git_rev", "?")
-        print(f"  [{i}] rev={rev}  {metrics}")
+        reset = "  [baseline reset]" if record.get("baseline_reset") else ""
+        print(f"  [{i}] rev={rev}  {metrics}{reset}")
     return 0
 
 

@@ -71,7 +71,7 @@ class PageCacheFilter:
         self._credit.fill(0.0)
 
     # ------------------------------------------------------------------
-    def filter_batch(self, pages: np.ndarray) -> np.ndarray:
+    def filter_batch(self, pages: np.ndarray, counts: np.ndarray | None = None) -> np.ndarray:
         """Process one epoch batch; return a boolean LLC-miss mask.
 
         Pages are processed as an unordered epoch: per-page access counts
@@ -79,15 +79,40 @@ class PageCacheFilter:
         and residency is refreshed for the pages touched this epoch.
         Pressure beyond capacity decays every page's credit
         proportionally, evicting the long-idle pages first in expectation.
+
+        ``counts`` optionally passes a page-space histogram the caller
+        already computed (``np.bincount(pages, minlength=max_page_id)``)
+        so the engine's shared per-epoch bincount is not recomputed here.
         """
         pages = np.asarray(pages, dtype=np.int64)
         if pages.size == 0:
             return np.zeros(0, dtype=bool)
-        if pages.min() < 0 or pages.max() >= self.max_page_id:
+        if counts is not None:
+            # a caller-supplied bincount already proves the range: the
+            # bincount raised on negatives, and an id >= max_page_id
+            # would have grown the histogram past max_page_id
+            if counts.size != self.max_page_id:
+                raise ValueError("page number out of range for the cache filter")
+        elif pages.min() < 0 or pages.max() >= self.max_page_id:
             raise ValueError("page number out of range for the cache filter")
 
-        unique, inverse, counts = np.unique(pages, return_inverse=True, return_counts=True)
-        credit = self._credit[unique]
+        # Dense batches skip compaction entirely and work in page space:
+        # the credit array is already page-indexed, per-page counts come
+        # from one bincount, and the page numbers themselves serve as the
+        # group labels ``_spread_misses`` needs.  Sparse page spaces
+        # compact to the batch's unique pages first.
+        dense = counts is not None or self.max_page_id <= 4 * pages.size
+        if dense:
+            unique = None
+            if counts is None:
+                counts = np.bincount(pages, minlength=self.max_page_id)
+            inverse = pages
+            credit = self._credit
+        else:
+            unique, inverse, counts = np.unique(
+                pages, return_inverse=True, return_counts=True
+            )
+            credit = self._credit[unique]
 
         # Hits this epoch: one access per line of residency credit can hit;
         # additional accesses to the same page mostly hit once the page's
@@ -106,16 +131,24 @@ class PageCacheFilter:
             uncovered = 1.0 - credit[partial] / self.lines_per_page
             miss_per_page = miss_per_page.astype(np.float64)
             miss_per_page[partial] = first_touch_misses[partial] * uncovered
-        miss_per_page = np.minimum(miss_per_page, counts)
+        # (miss_per_page <= counts holds by construction: cold pages miss
+        # at most min(count, lines) times, partial pages a fraction of
+        # that, resident pages never.)
 
         # Build the per-access miss mask: the first `miss` accesses of each
         # page in the batch are misses, the rest hit.
         miss_mask = self._spread_misses(inverse, counts, miss_per_page, pages.size)
 
         # Refresh residency: touched pages become (close to) fully resident.
-        self._credit[unique] = np.minimum(
-            credit + counts.astype(np.float32), float(self.lines_per_page)
-        )
+        if dense:
+            self._credit += counts.astype(np.float32)
+            np.minimum(
+                self._credit, np.float32(self.lines_per_page), out=self._credit
+            )
+        else:
+            self._credit[unique] = np.minimum(
+                credit + counts.astype(np.float32), float(self.lines_per_page)
+            )
 
         # Capacity pressure: decay everything proportionally to overflow.
         total = float(self._credit.sum())
@@ -134,19 +167,40 @@ class PageCacheFilter:
         batch_size: int,
     ) -> np.ndarray:
         """Mark the first ``miss_per_page[p]`` occurrences of each page."""
-        # Occurrence index of each access among accesses to the same page,
-        # computed fully vectorized: after a stable sort by page, each
-        # access's occurrence number is its position minus its page's
-        # group start.
-        order = np.argsort(inverse, kind="stable")
+        if miss_per_page.dtype == np.int64:
+            miss_budget = miss_per_page  # integral already; ceil is a no-op
+        else:
+            miss_budget = np.ceil(miss_per_page).astype(np.int64)
+        # Most pages are all-or-nothing in any given epoch: cold pages
+        # miss on every access (budget >= count), fully resident pages
+        # on none (budget == 0).  Those need no occurrence numbering —
+        # the expensive stable sort runs only over accesses to the few
+        # pages with a partial budget.
+        full = miss_budget >= counts
+        partial = ~full & (miss_budget > 0)
+        miss_mask = full[inverse]
+        if not np.any(partial):
+            return miss_mask
+        sel = np.nonzero(partial[inverse])[0]
+        sub_inverse = inverse[sel]
+        if len(counts) <= 1 << 16:
+            # numpy's stable sort is an O(n) radix sort for 16-bit ints
+            # but a comparison sort for wider types; group ranks fit.
+            sub_inverse = sub_inverse.astype(np.uint16)
+        # Occurrence index of each selected access among accesses to the
+        # same page: every access of a partial page is selected, so the
+        # occurrence number within the subset equals the one within the
+        # full batch.  After a stable sort by page, it is the position
+        # minus the page's group start.
+        order = np.argsort(sub_inverse, kind="stable")
+        sub_counts = np.where(partial, counts, 0)
         starts = np.zeros(len(counts) + 1, dtype=np.int64)
-        np.cumsum(counts, out=starts[1:])
-        sorted_inverse = inverse[order]
-        occ_sorted = np.arange(batch_size, dtype=np.int64) - starts[sorted_inverse]
-        occ = np.empty(batch_size, dtype=np.int64)
+        np.cumsum(sub_counts, out=starts[1:])
+        occ_sorted = np.arange(sel.size, dtype=np.int64) - starts[sub_inverse[order]]
+        occ = np.empty(sel.size, dtype=np.int64)
         occ[order] = occ_sorted
-        miss_budget = np.ceil(miss_per_page).astype(np.int64)
-        return occ < miss_budget[inverse]
+        miss_mask[sel] = occ < miss_budget[sub_inverse]
+        return miss_mask
 
     # ------------------------------------------------------------------
     def miss_bytes(self, miss_count: int) -> int:

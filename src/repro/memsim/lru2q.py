@@ -47,21 +47,28 @@ class Lru2Q:
         self._stamp = np.full(self.num_pages, -1, dtype=np.int64)
 
     # ------------------------------------------------------------------
-    def touch(self, pages: np.ndarray, epoch: int) -> None:
+    def touch(self, pages: np.ndarray, epoch: int, assume_unique: bool = False) -> None:
         """Record that ``pages`` were accessed during ``epoch``.
 
         Pages seen for the first time enter the inactive list; pages
         already inactive and re-touched in a *later* epoch are promoted
-        to active (the 2Q second-chance rule).
+        to active (the 2Q second-chance rule).  Callers that already hold
+        a duplicate-free page set (the engine's touched set, the
+        migration engine's deduplicated move lists) pass
+        ``assume_unique=True`` to skip the internal sort — every update
+        below is an elementwise gather/scatter, so ordering is
+        irrelevant once indices are distinct.
         """
-        idx = np.unique(np.asarray(pages, dtype=np.int64))
+        idx = np.asarray(pages, dtype=np.int64)
+        if not assume_unique:
+            idx = np.unique(idx)
         state = self._state[idx]
-        prior_stamp = self._stamp[idx]
-        promote = (state == _INACTIVE) & (prior_stamp < epoch) & (prior_stamp >= 0)
+        # pages on either list always carry a stamp >= 0 (touch stamps on
+        # insert, forget clears state and stamp together), so the
+        # INACTIVE check alone rules out never-touched pages
+        promote = (state == _INACTIVE) & (self._stamp[idx] < epoch)
         fresh = state == _NONE
-        new_state = state.copy()
-        new_state[fresh] = _INACTIVE
-        new_state[promote] = _ACTIVE
+        new_state = np.where(fresh, _INACTIVE, np.where(promote, _ACTIVE, state))
         self._state[idx] = new_state
         self._stamp[idx] = epoch
         if self.telemetry.enabled:
@@ -107,7 +114,7 @@ class Lru2Q:
         if excess <= 0:
             return 0
         active_pages = np.nonzero(active_mask)[0]
-        oldest = active_pages[np.argsort(self._stamp[active_pages], kind="stable")[:excess]]
+        oldest = self._oldest(active_pages, excess)
         self._state[oldest] = _INACTIVE
         if self.telemetry.enabled:
             self.telemetry.registry.counter("lru2q.aged_pages").inc(int(oldest.size))
@@ -128,14 +135,31 @@ class Lru2Q:
             inactive_mask &= member_mask
             active_mask &= member_mask
         inactive_pages = np.nonzero(inactive_mask)[0]
-        order = np.argsort(self._stamp[inactive_pages], kind="stable")
-        picks = inactive_pages[order[:count]]
+        picks = self._oldest(inactive_pages, count)
         if picks.size < count:
             active_pages = np.nonzero(active_mask)[0]
-            order = np.argsort(self._stamp[active_pages], kind="stable")
-            extra = active_pages[order[: count - picks.size]]
+            extra = self._oldest(active_pages, count - picks.size)
             picks = np.concatenate([picks, extra])
         return picks.astype(np.int64)
+
+    def _oldest(self, pages: np.ndarray, count: int) -> np.ndarray:
+        """First ``count`` of ``pages`` ordered by (stamp, page number).
+
+        ``pages`` arrives in ascending page order (``np.nonzero``), so a
+        stable argsort of the stamps orders by (stamp, page).  The
+        composite key ``(stamp + 1) * num_pages + page`` is unique and
+        encodes that exact order, which lets an O(n) ``argpartition``
+        select the prefix instead of fully sorting every candidate.
+        """
+        if count <= 0 or pages.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        keys = (self._stamp[pages] + 1) * self.num_pages + pages
+        if count < keys.size:
+            part = np.argpartition(keys, count - 1)[:count]
+            sel = np.sort(keys[part])
+        else:
+            sel = np.sort(keys)
+        return (sel % self.num_pages).astype(np.int64)
 
     # ------------------------------------------------------------------
     def active_count(self, member_mask: np.ndarray | None = None) -> int:

@@ -10,7 +10,9 @@ aggregates a run and exposes those readouts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
+
+import numpy as np
 
 
 @dataclass
@@ -48,23 +50,97 @@ class EpochMetrics:
         return self.accesses / (self.duration_ns * 1e-9)
 
 
+#: structured row type mirroring EpochMetrics: int fields as int64,
+#: float fields as float64 — both lossless for every value the engine
+#: records, so buffer reads reproduce the dataclass values exactly.
+_INT_FIELDS = frozenset(
+    {
+        "epoch",
+        "accesses",
+        "llc_misses",
+        "fast_hits",
+        "slow_hits",
+        "slow_read_bytes",
+        "slow_write_bytes",
+        "promoted_pages",
+        "demoted_pages",
+        "promoted_huge_pages",
+        "ping_pong_events",
+    }
+)
+EPOCH_DTYPE = np.dtype(
+    [(f.name, np.int64 if f.name in _INT_FIELDS else np.float64) for f in fields(EpochMetrics)]
+)
+
+
 @dataclass
 class SimulationReport:
-    """Aggregated results of one (workload, policy) simulation run."""
+    """Aggregated results of one (workload, policy) simulation run.
+
+    Epoch rows are accumulated twice: the :class:`EpochMetrics` objects
+    (the stable per-epoch API, shared by identity with e.g. per-tenant
+    reports) and a preallocated structured numpy buffer that grows
+    geometrically.  Every aggregate and timeline readout is served from
+    the buffer, so end-of-run reductions are vectorized instead of
+    attribute-walking thousands of Python objects.
+
+    The float aggregates intentionally reduce with Python's sequential
+    left-to-right summation (via ``tolist``) rather than ``np.sum`` —
+    pairwise summation rounds differently, and reports are held to
+    bit-identity by the golden-fixture differential harness.
+    """
 
     workload: str = ""
     policy: str = ""
     epochs: list[EpochMetrics] = field(default_factory=list)
     annotations: dict[str, object] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        self._buf = np.zeros(max(len(self.epochs), 64), dtype=EPOCH_DTYPE)
+        self._n = 0
+        for metrics in self.epochs:
+            self._store_row(metrics)
+
     # ------------------------------------------------------------------
+    def _store_row(self, metrics: EpochMetrics) -> None:
+        if self._n >= self._buf.size:
+            grown = np.zeros(self._buf.size * 2, dtype=EPOCH_DTYPE)
+            grown[: self._n] = self._buf[: self._n]
+            self._buf = grown
+        row = self._buf[self._n]
+        for name in EPOCH_DTYPE.names:
+            row[name] = getattr(metrics, name)
+        self._n += 1
+
     def append(self, metrics: EpochMetrics) -> None:
         self.epochs.append(metrics)
+        self._store_row(metrics)
+
+    def column(self, name: str) -> np.ndarray:
+        """One metric across all epochs, as a read-only numpy view."""
+        col = self._buf[name][: self._n]
+        col.flags.writeable = False
+        return col
+
+    # pickling: numpy structured buffers round-trip fine, but rebuilding
+    # from the epoch list keeps old pickles (list-only payloads) loadable
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state.pop("_buf", None)
+        state.pop("_n", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._buf = np.zeros(max(len(self.epochs), 64), dtype=EPOCH_DTYPE)
+        self._n = 0
+        for metrics in self.epochs:
+            self._store_row(metrics)
 
     # ------------------------------------------------------------------
     @property
     def total_time_ns(self) -> float:
-        return sum(e.duration_ns for e in self.epochs)
+        return sum(self.column("duration_ns").tolist())
 
     @property
     def total_time_s(self) -> float:
@@ -72,35 +148,35 @@ class SimulationReport:
 
     @property
     def total_accesses(self) -> int:
-        return sum(e.accesses for e in self.epochs)
+        return int(self.column("accesses").sum())
 
     @property
     def total_llc_misses(self) -> int:
-        return sum(e.llc_misses for e in self.epochs)
+        return int(self.column("llc_misses").sum())
 
     @property
     def total_slow_traffic_bytes(self) -> int:
-        return sum(e.slow_traffic_bytes for e in self.epochs)
+        return int(self.column("slow_read_bytes").sum() + self.column("slow_write_bytes").sum())
 
     @property
     def total_promoted_pages(self) -> int:
-        return sum(e.promoted_pages for e in self.epochs)
+        return int(self.column("promoted_pages").sum())
 
     @property
     def total_demoted_pages(self) -> int:
-        return sum(e.demoted_pages for e in self.epochs)
+        return int(self.column("demoted_pages").sum())
 
     @property
     def total_promoted_huge_pages(self) -> int:
-        return sum(e.promoted_huge_pages for e in self.epochs)
+        return int(self.column("promoted_huge_pages").sum())
 
     @property
     def total_ping_pong_events(self) -> int:
-        return sum(e.ping_pong_events for e in self.epochs)
+        return int(self.column("ping_pong_events").sum())
 
     @property
     def total_profiling_overhead_ns(self) -> float:
-        return sum(e.profiling_overhead_ns for e in self.epochs)
+        return sum(self.column("profiling_overhead_ns").tolist())
 
     @property
     def throughput_aps(self) -> float:
@@ -114,16 +190,22 @@ class SimulationReport:
         misses = self.total_llc_misses
         if misses == 0:
             return 0.0
-        return sum(e.fast_hits for e in self.epochs) / misses
+        return int(self.column("fast_hits").sum()) / misses
 
     # ------------------------------------------------------------------
     def series(self, attr: str) -> list[float]:
         """Per-epoch timeline of one EpochMetrics attribute."""
+        if attr in EPOCH_DTYPE.names:
+            values = self.column(attr).tolist()
+            if attr in _INT_FIELDS:
+                return [int(v) for v in values]
+            return values
+        # derived properties (slow_traffic_bytes, throughput_aps, ...)
         return [getattr(e, attr) for e in self.epochs]
 
     def time_axis_s(self) -> list[float]:
         """Epoch start times in seconds (for timeline figures)."""
-        return [e.sim_time_ns * 1e-9 for e in self.epochs]
+        return [t * 1e-9 for t in self.column("sim_time_ns").tolist()]
 
     def summary(self) -> dict[str, float]:
         """Compact dictionary used by the experiment tables.

@@ -73,14 +73,26 @@ class MigrationConfig:
     fast_free_target: float = 0.02
 
 
-def _dedup_keep_order(pages: np.ndarray) -> np.ndarray:
+def _dedup_keep_order(pages: np.ndarray, scratch: np.ndarray | None = None) -> np.ndarray:
     """Drop duplicate page numbers, keeping first-occurrence order.
 
     Duplicate requests would otherwise double-book tier capacity (one
-    physical move, two reservations).
+    physical move, two reservations).  With a page-space ``scratch``
+    array, duplicates are found by a reverse-order position scatter —
+    after writing positions back-to-front, each page's slot holds its
+    first-occurrence index — instead of the sort inside ``np.unique``.
+    Stale scratch entries are never read: only slots of pages present in
+    the current call are compared.
     """
     if pages.size <= 1:
         return pages
+    if scratch is not None and pages.size and int(pages.max()) < scratch.size:
+        positions = np.arange(pages.size, dtype=np.int32)
+        scratch[pages[::-1]] = positions[::-1]
+        keep = scratch[pages] == positions
+        if keep.all():
+            return pages
+        return pages[keep]
     _, first_idx = np.unique(pages, return_index=True)
     if first_idx.size == pages.size:
         return pages
@@ -106,6 +118,8 @@ class MigrationEngine:
         self.stats = MigrationStats()
         self._window_budget_bytes = 0.0
         self._window_drained = False
+        self._dedup_scratch = np.zeros(page_table.num_pages, dtype=np.int32)
+        self._member_scratch = np.zeros(page_table.num_pages, dtype=bool)
 
     # ------------------------------------------------------------------
     # quota
@@ -147,11 +161,15 @@ class MigrationEngine:
         number of pages actually promoted after quota and capacity.
         """
         with self.telemetry.span("migrate"):
-            pages = _dedup_keep_order(np.asarray(pages, dtype=np.int64))
+            pages = _dedup_keep_order(
+                np.asarray(pages, dtype=np.int64), self._dedup_scratch
+            )
             if pages.size == 0:
                 return 0
             nodes = self.page_table.nodes_of(pages)
-            movable = pages[nodes > 0]  # only pages on slow nodes move up
+            fast_id = self.topology.fast_node.node_id
+            # only mapped pages on slow nodes move up
+            movable = pages[(nodes >= 0) & (nodes != fast_id)]
             if movable.size == 0:
                 return 0
             granted = self._charge_quota(movable.size, PAGE_SIZE)
@@ -171,9 +189,11 @@ class MigrationEngine:
                 return 0
 
             src_nodes = self.page_table.nodes_of(movable)
-            for node_id in np.unique(src_nodes):
-                count = int((src_nodes == node_id).sum())
-                self.topology[int(node_id)].tier.release(count)
+            # per-node release counts via one O(n) bincount; the node
+            # space is tiny, so this beats np.unique's sort
+            node_counts = np.bincount(src_nodes, minlength=len(self.topology.nodes))
+            for node_id in np.nonzero(node_counts)[0]:
+                self.topology[int(node_id)].tier.release(int(node_counts[node_id]))
             fast.reserve(movable.size)
             self.page_table.map_pages(movable, self.topology.fast_node.node_id)
 
@@ -184,7 +204,7 @@ class MigrationEngine:
             self.page_table.clear_demoted(movable)
 
             # promoted pages enter the fast node's lists as recently used
-            self.lru.touch(movable, epoch)
+            self.lru.touch(movable, epoch, assume_unique=True)
             moved = int(movable.size)
             self.stats.promoted_pages += moved
             self.stats.stall_ns += moved * self.config.page_copy_ns
@@ -213,11 +233,23 @@ class MigrationEngine:
                 return 0
             moved = 0
             base_pages = 0
-            for huge_page in huge_pages[:granted]:
-                base = int(huge_page) * PAGES_PER_HUGE_PAGE
-                span = np.arange(base, min(base + PAGES_PER_HUGE_PAGE, self.page_table.num_pages))
+            # All base-page spans in one shot; each row is one huge page,
+            # padded past the table end with -1 sentinels (dropped below).
+            # Node membership is re-read per huge page inside the loop:
+            # _make_room demotions can move fast pages into a *later*
+            # span, so the membership snapshot cannot be hoisted.
+            grant_list = huge_pages[:granted]
+            spans_matrix = (
+                grant_list[:, None] * PAGES_PER_HUGE_PAGE
+                + np.arange(PAGES_PER_HUGE_PAGE, dtype=np.int64)
+            )
+            spans_matrix[spans_matrix >= self.page_table.num_pages] = -1
+            fast_id = self.topology.fast_node.node_id
+            for row in range(grant_list.size):
+                span = spans_matrix[row]
+                span = span[span >= 0]
                 nodes = self.page_table.nodes_of(span)
-                slow_members = span[nodes > 0]
+                slow_members = span[(nodes >= 0) & (nodes != fast_id)]
                 if slow_members.size == 0:
                     continue
                 fast = self.topology.fast_node.tier
@@ -228,15 +260,15 @@ class MigrationEngine:
                 if fast.free_pages - headroom < slow_members.size:
                     break
                 src_nodes = self.page_table.nodes_of(slow_members)
-                for node_id in np.unique(src_nodes):
-                    count = int((src_nodes == node_id).sum())
-                    self.topology[int(node_id)].tier.release(count)
+                node_counts = np.bincount(src_nodes, minlength=len(self.topology.nodes))
+                for node_id in np.nonzero(node_counts)[0]:
+                    self.topology[int(node_id)].tier.release(int(node_counts[node_id]))
                 fast.reserve(slow_members.size)
                 self.page_table.map_pages(slow_members, self.topology.fast_node.node_id)
                 demoted_before = self.page_table.demoted_mask(slow_members)
                 self.stats.ping_pong_events += int(demoted_before.sum())
                 self.page_table.clear_demoted(slow_members)
-                self.lru.touch(slow_members, epoch)
+                self.lru.touch(slow_members, epoch, assume_unique=True)
                 moved += 1
                 base_pages += int(slow_members.size)
                 self.stats.promoted_pages += int(slow_members.size)
@@ -269,11 +301,13 @@ class MigrationEngine:
         ``charge_quota=False``.
         """
         with self.telemetry.span("migrate"):
-            pages = _dedup_keep_order(np.asarray(pages, dtype=np.int64))
+            pages = _dedup_keep_order(
+                np.asarray(pages, dtype=np.int64), self._dedup_scratch
+            )
             if pages.size == 0:
                 return 0
             nodes = self.page_table.nodes_of(pages)
-            movable = pages[nodes == 0]
+            movable = pages[nodes == self.topology.fast_node.node_id]
             if movable.size == 0:
                 return 0
             if charge_quota:
@@ -326,14 +360,21 @@ class MigrationEngine:
         if candidates.size < count:
             untracked = np.nonzero(member_mask)[0]
             if candidates.size:
-                untracked = np.setdiff1d(untracked, candidates, assume_unique=False)
+                # exclude the already-picked pages with a boolean scatter
+                # (np.setdiff1d sorts both sides); ``untracked`` is
+                # already sorted and unique, so the filtered result
+                # matches setdiff1d exactly
+                scratch = self._member_scratch
+                scratch[candidates] = True
+                untracked = untracked[~scratch[untracked]]
+                scratch[candidates] = False
             candidates = np.concatenate([candidates, untracked[: count - candidates.size]])
         return candidates
 
     def _make_room(self, num_pages: int, epoch: int) -> int:
         """Demote the coldest fast-node pages to free ``num_pages``."""
         del epoch  # list stamps order candidates; epoch kept for symmetry
-        member_mask = self.page_table.node_of_page == 0
+        member_mask = self.page_table.node_of_page == self.topology.fast_node.node_id
         candidates = self.coldest_victims(num_pages, member_mask)
         if candidates.size == 0:
             return 0

@@ -89,7 +89,7 @@ class BaseTieringPolicy:
         if fast.free_pages >= fast.capacity_pages * self.demotion_watermark:
             return 0.0
         want = int(fast.capacity_pages * self.demotion_target) - fast.free_pages
-        member_mask = view.page_table.node_of_page == 0
+        member_mask = view.page_table.node_of_page == view.topology.fast_node.node_id
         victims = view.lru.coldest(want, member_mask)
         demoted = view.migration.demote(victims, charge_quota=False)
         return demoted * self.syscall_ns_per_page

@@ -10,6 +10,37 @@ from __future__ import annotations
 import numpy as np
 
 
+#: memoized zipf CDFs keyed by (num_items, exponent).  The CDF involves
+#: no randomness, so reuse across batches is exact; generators call with
+#: a handful of distinct shapes per process, so the cache stays tiny.
+_ZIPF_CDF_CACHE: dict[tuple[int, float], tuple[np.ndarray, np.ndarray]] = {}
+
+
+def _zipf_cdf(num_items: int, exponent: float) -> tuple[np.ndarray, np.ndarray]:
+    """``(cdf, guide)`` for one zipf shape.
+
+    ``guide[b] = searchsorted(cdf, b / len(guide))`` turns the per-draw
+    binary search into an O(1) table lookup plus a couple of vectorized
+    refinement sweeps (the guide-table method for inverse-CDF sampling);
+    the result is bit-identical to ``np.searchsorted(cdf, u)``.
+    """
+    key = (num_items, exponent)
+    entry = _ZIPF_CDF_CACHE.get(key)
+    if entry is None:
+        ranks = np.arange(1, num_items + 1, dtype=np.float64)
+        weights = ranks**-exponent
+        cdf = np.cumsum(weights)
+        cdf /= cdf[-1]
+        buckets = 4 * num_items
+        grid = np.arange(buckets, dtype=np.float64) / buckets
+        guide = np.searchsorted(cdf, grid).astype(np.int64)
+        entry = (cdf, guide)
+        if len(_ZIPF_CDF_CACHE) >= 32:
+            _ZIPF_CDF_CACHE.clear()
+        _ZIPF_CDF_CACHE[key] = entry
+    return entry
+
+
 def bounded_zipf(
     rng: np.random.Generator, num_items: int, size: int, exponent: float = 0.99
 ) -> np.ndarray:
@@ -24,11 +55,17 @@ def bounded_zipf(
         raise ValueError("num_items must be positive, size non-negative")
     if exponent <= 0:
         raise ValueError("exponent must be positive")
-    ranks = np.arange(1, num_items + 1, dtype=np.float64)
-    weights = ranks**-exponent
-    cdf = np.cumsum(weights)
-    cdf /= cdf[-1]
-    return np.searchsorted(cdf, rng.random(size)).astype(np.int64)
+    cdf, guide = _zipf_cdf(int(num_items), float(exponent))
+    u = rng.random(size)
+    bucket = np.minimum((u * guide.size).astype(np.int64), guide.size - 1)
+    idx = guide[bucket]
+    # Advance each draw to the first cdf entry >= u; guide buckets are
+    # ~4x finer than the item grid, so this converges in a few sweeps.
+    low = cdf[idx] < u
+    while low.any():
+        idx += low
+        low = cdf[idx] < u
+    return idx.astype(np.int64)
 
 
 def hot_set_mixture(

@@ -92,3 +92,50 @@ class TestDistribution:
         batch = h.hash_batch(np.array([value], dtype=np.uint64))
         assert batch[0, 0] == h.hash_one(value, 0)
         assert batch[1, 0] == h.hash_one(value, 1)
+
+
+class TestVectorizedBitIdentity:
+    """The satellite contract: every vectorized path equals the per-bit
+    scalar reference exactly, for any seed, on both internal routes
+    (dense prefix memo for small ids, chunked gather-XOR beyond it)."""
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        data=st.lists(
+            st.integers(min_value=0, max_value=2**40 - 1), min_size=1, max_size=64
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_batch_equals_scalar_for_any_seed(self, seed, data):
+        h = H3HashFamily(41, 1024, 3, seed=seed)
+        values = np.array(data, dtype=np.uint64)
+        batch = h.hash_batch(values)
+        assert batch.shape == (3, len(data))
+        assert batch.min() >= 0 and batch.max() < 1024
+        for d in range(3):
+            for i, v in enumerate(data):
+                assert int(batch[d, i]) == h.hash_one(v, d)
+
+    def test_dense_and_chunked_routes_agree(self):
+        """Small ids route through the dense prefix table, large ones
+        through the chunked gather; both must agree with each other and
+        with the scalar loop on the overlap."""
+        h = H3HashFamily(32, 4096, 2, seed=99)
+        small = np.arange(0, 2**16, 97, dtype=np.uint64)  # dense route
+        dense_out = h.hash_batch(small)
+        mixed = np.concatenate([small, np.array([2**31], dtype=np.uint64)])
+        chunked_out = h.hash_batch(mixed)  # one big id forces the chunk route
+        assert np.array_equal(dense_out, chunked_out[:, : small.size])
+        for d in range(2):
+            assert int(chunked_out[d, -1]) == h.hash_one(2**31, d)
+
+    def test_dense_table_cache_is_bit_identical_across_instances(self):
+        """The module-level dense-table cache may only ever be a speedup:
+        a cache-hit instance hashes identically to a cold one."""
+        a = H3HashFamily(32, 2048, 2, seed=5)
+        values = np.arange(5000, dtype=np.uint64)
+        warm = a.hash_batch(values)  # builds + publishes the dense table
+        b = H3HashFamily(32, 2048, 2, seed=5)  # hits the cache
+        assert np.array_equal(warm, b.hash_batch(values))
+        for d in range(2):
+            assert int(warm[d, 4999]) == b.hash_one(4999, d)

@@ -164,3 +164,93 @@ class TestProperties:
         s.clear()
         probe = np.arange(0, 1001, 97, dtype=np.uint64)
         assert (s.estimate_batch(probe) == 0).all()
+
+
+class TestSaturationAtCounterMax:
+    """Regression: the increment must clamp *before* the uint32 write —
+    a saturated counter holds at the ceiling instead of wrapping."""
+
+    def test_counter_pinned_at_max_does_not_wrap(self):
+        s = small_sketch(counter_bits=16)  # counter_max 65535
+        page = np.array([42], dtype=np.uint64)
+        s.update_batch(page, counts=np.array([s.counter_max]))
+        assert s.estimate(42) == s.counter_max
+        # pushing past the ceiling must hold, not wrap to a small value
+        s.update_batch(page, counts=np.array([10]))
+        assert s.estimate(42) == s.counter_max
+
+    def test_huge_single_batch_clamps(self):
+        s = small_sketch(counter_bits=16)
+        page = np.array([7], dtype=np.uint64)
+        s.update_batch(page, counts=np.array([2**20]))  # would wrap uint16 math
+        assert s.estimate(7) == s.counter_max
+
+    def test_full_width_counters_clamp(self):
+        # 32-bit counters: increments near 2**32 exercise the int64
+        # headroom the clamp relies on
+        s = small_sketch(counter_bits=32)
+        page = np.array([3], dtype=np.uint64)
+        s.update_batch(page, counts=np.array([s.counter_max - 1]))
+        s.update_batch(page, counts=np.array([5]))
+        assert s.estimate(3) == s.counter_max
+
+    @given(st.lists(st.integers(min_value=0, max_value=200), min_size=1, max_size=50))
+    @settings(max_examples=40, deadline=None)
+    def test_estimates_never_exceed_counter_max(self, pages):
+        s = small_sketch(width=64, counter_bits=4)  # tiny: collisions certain
+        arr = np.array(pages, dtype=np.uint64)
+        for _ in range(3):
+            s.update_batch(arr)
+        est = s.estimate_batch(np.unique(arr))
+        assert (est <= s.counter_max).all()
+        assert (est >= 0).all()
+
+
+class TestFusedUpdateEstimate:
+    def test_fused_equals_sequential(self):
+        rng = np.random.default_rng(17)
+        a = small_sketch(width=512, counter_bits=8)
+        b = small_sketch(width=512, counter_bits=8)
+        for _ in range(5):
+            pages = rng.integers(0, 3000, size=400).astype(np.uint64)
+            unique, counts = np.unique(pages, return_counts=True)
+            fused = a.update_estimate_batch(unique, counts=counts)
+            b.update_batch(unique, counts=counts)
+            sequential = b.estimate_batch(unique)
+            assert np.array_equal(fused, sequential)
+        assert np.array_equal(a._counters, b._counters)
+
+    def test_fused_empty_batch(self):
+        s = small_sketch()
+        out = s.update_estimate_batch(np.array([], dtype=np.uint64))
+        assert out.size == 0 and out.dtype == np.int64
+
+
+class TestSparseValidTracking:
+    """lane_valid_counters + compute_sparse must reproduce the dense
+    full-row histogram exactly (the SET_HIST_EN fast path)."""
+
+    def test_sparse_matches_dense_snapshot(self):
+        from repro.core.neoprof.histogram import HistogramUnit
+
+        rng = np.random.default_rng(23)
+        s = small_sketch(width=2048, counter_bits=8)
+        hu = HistogramUnit(16)
+        for round_ in range(8):
+            pages = rng.integers(0, 6000, size=rng.integers(1, 2000)).astype(np.uint64)
+            unique, counts = np.unique(pages, return_counts=True)
+            s.update_batch(unique, counts=counts)
+            if round_ % 3 == 2:
+                s.clear()
+            dense = hu.compute(s.lane_snapshot(0))
+            sparse = hu.compute_sparse(s.lane_valid_counters(0), s.width)
+            assert np.array_equal(dense.counts, sparse.counts)
+            assert np.array_equal(dense.edges, sparse.edges)
+
+    def test_clear_resets_tracked_entries(self):
+        s = small_sketch(width=256)
+        s.update_batch(np.arange(50, dtype=np.uint64))
+        assert s._valid_entries().size > 0
+        s.clear()
+        assert s._valid_entries().size == 0
+        assert s.lane_valid_counters(0).size == 0

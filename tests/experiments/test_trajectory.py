@@ -126,3 +126,59 @@ class TestCli:
     def test_gate_cli_missing_file(self, tmp_path, capsys):
         assert main(["gate", str(tmp_path / "nope.json")]) == 0
         assert "nothing to compare" in capsys.readouterr().out
+
+
+class TestBaselineReset:
+    def test_reset_restarts_comparison_history(self):
+        """A 5x optimization lands with baseline_reset: the old slow
+        records must not drag the band — a follow-up run at the new
+        level passes, and one regressing against the *new* baseline
+        fails even though it would look like an improvement vs the old."""
+        old = [rec(serial_s=2.0) for _ in range(4)]
+        new = [rec(serial_s=0.40, baseline_reset=True)] + [
+            rec(serial_s=0.41), rec(serial_s=0.39), rec(serial_s=0.40)
+        ]
+        steady = evaluate_gate(old + new + [rec(serial_s=0.42)], min_records=3)
+        assert steady.ok and not steady.advisory
+        # 1.0s would be a 2x improvement on the old baseline but is a
+        # 2.5x regression on the new one: must fail
+        regressed = evaluate_gate(old + new + [rec(serial_s=1.0)], min_records=3)
+        assert not regressed.ok and not regressed.advisory
+        assert regressed.exit_code == 1
+        assert any("baseline reset" in line for line in regressed.lines)
+
+    def test_newest_record_as_reset_is_advisory(self):
+        """The reset record itself has no comparable priors."""
+        records = [rec(serial_s=2.0)] * 4 + [rec(serial_s=0.4, baseline_reset=True)]
+        verdict = evaluate_gate(records, min_records=3)
+        assert verdict.ok and verdict.advisory
+        assert verdict.exit_code == 0
+
+    def test_records_after_reset_count_toward_min(self):
+        """Advisory until enough post-reset history accumulates."""
+        records = [rec(serial_s=2.0)] * 6 + [
+            rec(serial_s=0.4, baseline_reset=True),
+            rec(serial_s=0.41),
+            rec(serial_s=5.0),  # clear regression, but only 2 priors since reset
+        ]
+        verdict = evaluate_gate(records, min_records=3)
+        assert verdict.advisory
+        assert verdict.exit_code == 0
+
+    def test_only_latest_reset_applies(self):
+        records = (
+            [rec(serial_s=9.0, baseline_reset=True)]
+            + [rec(serial_s=2.0, baseline_reset=True)]
+            + [rec(serial_s=2.0)] * 3
+            + [rec(serial_s=2.05)]
+        )
+        verdict = evaluate_gate(records, min_records=3)
+        assert verdict.ok and not verdict.advisory
+
+    def test_show_marks_reset_records(self, tmp_path, capsys):
+        path = tmp_path / "BENCH.json"
+        append_record(path, rec(serial_s=2.0))
+        append_record(path, rec(serial_s=0.4, baseline_reset=True))
+        assert main(["show", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "[baseline reset]" in out

@@ -92,3 +92,88 @@ def test_ping_pong_only_counts_demoted_pages(pages):
     eng.promote(on_fast, epoch=1)
     # every counted ping-pong corresponds to a page we demoted first
     assert eng.stats.ping_pong_events <= on_fast.size
+
+
+# ----------------------------------------------------------------------
+# SoA invariants: the flat-array hot path must preserve these laws
+# ----------------------------------------------------------------------
+@given(st.lists(operation, max_size=40))
+@settings(max_examples=60, deadline=None)
+def test_every_page_on_exactly_one_node(ops):
+    """node_of_page is a total function onto real nodes: no page is ever
+    unmapped, double-booked, or parked on a node id that does not exist,
+    and the per-node populations always sum to the full page count."""
+    topo, pt, lru, eng = build()
+    epoch = 0
+    for name, pages in ops:
+        arr = np.array(pages, dtype=np.int64)
+        if name == "promote":
+            eng.promote(arr, epoch)
+        elif name == "demote":
+            eng.demote(arr)
+        elif name == "touch":
+            lru.touch(arr, epoch)
+        elif name == "quota":
+            eng.grant_quota(0.001)
+        elif name == "promote_huge":
+            eng.promote_huge(arr // 512, epoch)
+        epoch += 1
+
+        nodes = pt.node_of_page
+        assert nodes.shape == (NUM_PAGES,)
+        assert ((nodes >= 0) & (nodes < len(topo.nodes))).all()
+        population = np.bincount(nodes, minlength=len(topo.nodes))
+        assert population.sum() == NUM_PAGES
+        for node in topo.nodes:
+            assert population[node.node_id] == node.tier.used_pages
+
+
+@given(st.lists(operation, max_size=40))
+@settings(max_examples=60, deadline=None)
+def test_tier_free_used_conservation(ops):
+    """used + free == capacity on every tier after every operation,
+    including THP collapse (promote_huge moves whole 512-page frames)."""
+    topo, pt, lru, eng = build()
+    epoch = 0
+    for name, pages in ops:
+        arr = np.array(pages, dtype=np.int64)
+        if name == "promote":
+            eng.promote(arr, epoch)
+        elif name == "demote":
+            eng.demote(arr)
+        elif name == "touch":
+            lru.touch(arr, epoch)
+        elif name == "quota":
+            eng.grant_quota(0.001)
+        elif name == "promote_huge":
+            eng.promote_huge(arr // 512, epoch)
+        epoch += 1
+
+        for node in topo.nodes:
+            tier = node.tier
+            assert tier.used_pages + tier.free_pages == tier.capacity_pages
+            assert tier.free_pages >= 0
+
+
+@given(
+    st.lists(
+        st.lists(st.integers(min_value=0, max_value=NUM_PAGES - 1), max_size=40),
+        min_size=1,
+        max_size=6,
+    ),
+    st.floats(min_value=1e-6, max_value=0.005),
+)
+@settings(max_examples=60, deadline=None)
+def test_quota_never_exceeded_within_window(batches, window_s):
+    """Cumulative pages moved against one grant never exceed the window's
+    byte budget — however the requests are batched inside the window."""
+    topo, pt, lru, eng = build()
+    eng.grant_quota(window_s)
+    budget_pages = int(10**9 * min(window_s, MigrationEngine.QUOTA_BURST_S) / 4096)
+    moved = 0
+    for i, pages in enumerate(batches):
+        arr = np.array(pages, dtype=np.int64)
+        moved += eng.promote(arr, epoch=i)
+        on_fast = arr[pt.nodes_of(arr) == 0]
+        moved += eng.demote(on_fast)
+    assert moved <= budget_pages + 1
