@@ -1,0 +1,27 @@
+"""repro.analysis — repo-aware static checks for the invariants the
+bit-identity guarantees rest on (determinism, hot-path vectorization,
+sweep picklability, telemetry discipline).
+
+Run as ``python -m repro.analysis [paths...]`` or via the
+``repro-lint`` console script.  See the README's "Static analysis"
+section for the rule table and suppression policy.
+"""
+
+from repro.analysis.engine import (
+    AnalysisResult,
+    Finding,
+    analyze_file,
+    analyze_paths,
+    iter_python_files,
+)
+from repro.analysis.rules import ALL_RULES, all_codes
+
+__all__ = [
+    "ALL_RULES",
+    "AnalysisResult",
+    "Finding",
+    "all_codes",
+    "analyze_file",
+    "analyze_paths",
+    "iter_python_files",
+]

@@ -1,0 +1,70 @@
+"""Baseline grandfathering: keep old findings, fail on new ones.
+
+The baseline is a committed JSON file listing findings we deliberately
+keep.  Entries match on ``(path, code, stripped-source-line)`` — not on
+line numbers — so grandfathered findings survive edits elsewhere in the
+file.  Matching is a multiset: two identical grandfathered lines need
+two baseline entries, and a third new copy is a new finding.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.analysis.engine import Finding
+
+__all__ = ["BaselineError", "load_baseline", "partition", "write_baseline"]
+
+SCHEMA_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file exists but cannot be used."""
+
+
+def load_baseline(path: Path) -> Counter:
+    """Read a baseline file into a multiset of grandfather keys."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"{path}: not valid JSON ({exc})") from exc
+    if not isinstance(data, dict) or data.get("schema") != SCHEMA_VERSION:
+        raise BaselineError(
+            f"{path}: expected {{'schema': {SCHEMA_VERSION}, 'findings': [...]}}"
+        )
+    keys: Counter = Counter()
+    for entry in data.get("findings", []):
+        try:
+            keys[(entry["path"], entry["code"], entry["content"])] += 1
+        except (TypeError, KeyError) as exc:
+            raise BaselineError(f"{path}: malformed entry {entry!r}") from exc
+    return keys
+
+
+def partition(findings: list[Finding], baseline: Counter) -> tuple[list[Finding], list[Finding]]:
+    """Split findings into ``(new, grandfathered)`` against the baseline."""
+    budget = Counter(baseline)
+    new: list[Finding] = []
+    old: list[Finding] = []
+    for finding in findings:
+        key = finding.baseline_key()
+        if budget[key] > 0:
+            budget[key] -= 1
+            old.append(finding)
+        else:
+            new.append(finding)
+    return new, old
+
+
+def write_baseline(path: Path, findings: list[Finding]) -> None:
+    """Serialize the current findings as the new baseline."""
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "findings": [
+            {"path": f.path, "code": f.code, "content": f.content}
+            for f in sorted(findings, key=Finding.sort_key)
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

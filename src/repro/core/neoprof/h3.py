@@ -14,6 +14,8 @@ byte value.  XOR is associative and commutative, so the table-gather
 formulation is bit-for-bit identical to the per-bit AND-XOR loop (the
 scalar :meth:`H3HashFamily.hash_one` keeps the reference arithmetic).
 """
+# repro: hot-path — PR-7 vectorized epoch path; per-element python loops are regressions
+
 
 from __future__ import annotations
 
@@ -60,7 +62,7 @@ class H3HashFamily:
         tables = np.zeros((self._num_chunks, num_hashes, 256), dtype=np.uint64)
         for chunk in range(self._num_chunks):
             filled = 1
-            for j in range(min(8, self.input_bits - 8 * chunk)):
+            for j in range(min(8, self.input_bits - 8 * chunk)):  # repro: noqa HOT005 — one-time table construction at __init__, doubling fill is O(256) per chunk
                 row = self._pi[:, 8 * chunk + j]
                 tables[chunk, :, filled : 2 * filled] = (
                     tables[chunk, :, :filled] ^ row[:, None]
@@ -80,7 +82,7 @@ class H3HashFamily:
         """Hash a single value with function ``which`` (reference path)."""
         acc = np.uint64(0)
         v = int(value)
-        for bit in range(self.input_bits):
+        for bit in range(self.input_bits):  # repro: noqa HOT005 — scalar reference implementation kept to cross-check the table gather
             if (v >> bit) & 1:
                 acc ^= self._pi[which, bit]
         return int(acc)
@@ -109,7 +111,7 @@ class H3HashFamily:
         """Chunked table-gather hash of already-masked ``values``."""
         byte = (values & np.uint64(0xFF)).astype(np.intp)
         out = self._tables[0][:, byte]  # fancy gather copies: (D, n)
-        for chunk in range(1, self._num_chunks):
+        for chunk in range(1, self._num_chunks):  # repro: noqa HOT005 — loop over <=4 16-bit chunks (table count), not over elements
             byte = ((values >> np.uint64(8 * chunk)) & np.uint64(0xFF)).astype(np.intp)
             out ^= self._tables[chunk][:, byte]
         return out

@@ -18,6 +18,7 @@ same fast-tier scarcity the paper's Fig. 11/12 configurations do.
 from __future__ import annotations
 
 from dataclasses import replace
+from functools import partial
 
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
 from repro.experiments.runner import build_policy, topology_for
@@ -102,7 +103,7 @@ def build_colocation(
     return ColocationEngine(
         tenants,
         topology_for(total_pages, config),
-        policy_factory=lambda: build_policy(policy_name, total_pages, config),
+        policy_factory=partial(build_policy, policy_name, total_pages, config),
         config=config.engine_config(**(engine_overrides or {})),
         scheduler=scheduler,
         qos=qos,
@@ -199,7 +200,7 @@ def _run_solo_job(job: JobSpec) -> float:
     solo_engine = ColocationEngine(
         [(spec, workload)],
         topology_for(job.runner_kwargs["topology_pages"], config),
-        policy_factory=lambda: build_policy(job.policy, spec.num_pages, config),
+        policy_factory=partial(build_policy, job.policy, spec.num_pages, config),
         config=config.engine_config(),
     )
     solo_engine.prefill()

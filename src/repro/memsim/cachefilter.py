@@ -22,6 +22,8 @@ two behaviours the paper's results depend on:
 The filter is intentionally deterministic given its inputs so property
 tests can pin its invariants.
 """
+# repro: hot-path — PR-7 vectorized epoch path; per-element python loops are regressions
+
 
 from __future__ import annotations
 

@@ -14,6 +14,8 @@ This module models those kernel lists at page granularity:
 Everything is stored in flat numpy arrays indexed by page number so the
 epoch engine can update whole batches at once.
 """
+# repro: hot-path — PR-7 vectorized epoch path; per-element python loops are regressions
+
 
 from __future__ import annotations
 

@@ -7,6 +7,8 @@ bandwidth utilization, histogram strips, instantaneous GUPS (Figs. 14,
 16).  :class:`EpochMetrics` captures one epoch; :class:`SimulationReport`
 aggregates a run and exposes those readouts.
 """
+# repro: hot-path — PR-7 vectorized epoch path; per-element python loops are regressions
+
 
 from __future__ import annotations
 

@@ -15,6 +15,8 @@ Models the kernel migration path NeoMem invokes (Section III ``7``):
 * each migrated page costs copy time charged to the epoch as a stall
   (page copy + PTE fixup + TLB shootdown).
 """
+# repro: hot-path — PR-7 vectorized epoch path; per-element python loops are regressions
+
 
 from __future__ import annotations
 
@@ -192,7 +194,7 @@ class MigrationEngine:
             # per-node release counts via one O(n) bincount; the node
             # space is tiny, so this beats np.unique's sort
             node_counts = np.bincount(src_nodes, minlength=len(self.topology.nodes))
-            for node_id in np.nonzero(node_counts)[0]:
+            for node_id in np.nonzero(node_counts)[0]:  # repro: noqa HOT004 — iterates distinct NUMA nodes (a handful), not pages
                 self.topology[int(node_id)].tier.release(int(node_counts[node_id]))
             fast.reserve(movable.size)
             self.page_table.map_pages(movable, self.topology.fast_node.node_id)
@@ -245,7 +247,7 @@ class MigrationEngine:
             )
             spans_matrix[spans_matrix >= self.page_table.num_pages] = -1
             fast_id = self.topology.fast_node.node_id
-            for row in range(grant_list.size):
+            for row in range(grant_list.size):  # repro: noqa HOT001 — grants are sequential: each _make_room changes the free-slot state the next row sees
                 span = spans_matrix[row]
                 span = span[span >= 0]
                 nodes = self.page_table.nodes_of(span)
@@ -261,7 +263,7 @@ class MigrationEngine:
                     break
                 src_nodes = self.page_table.nodes_of(slow_members)
                 node_counts = np.bincount(src_nodes, minlength=len(self.topology.nodes))
-                for node_id in np.nonzero(node_counts)[0]:
+                for node_id in np.nonzero(node_counts)[0]:  # repro: noqa HOT004 — iterates distinct NUMA nodes (a handful), not pages
                     self.topology[int(node_id)].tier.release(int(node_counts[node_id]))
                 fast.reserve(slow_members.size)
                 self.page_table.map_pages(slow_members, self.topology.fast_node.node_id)

@@ -1,0 +1,33 @@
+"""Shared helpers for the analyzer's own test suite."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_file
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture(scope="session")
+def fixture_codes():
+    """``fixture_codes(name)`` -> list of finding codes for a fixture file."""
+    cache = {}
+
+    def run(name):
+        if name not in cache:
+            ctx = analyze_file(FIXTURES / f"{name}.py", rel=f"fixtures/{name}.py")
+            cache[name] = ctx
+        return [f.code for f in cache[name].findings]
+
+    return run
+
+
+@pytest.fixture(scope="session")
+def fixture_ctx():
+    """``fixture_ctx(name)`` -> the full ModuleContext for a fixture file."""
+
+    def run(name):
+        return analyze_file(FIXTURES / f"{name}.py", rel=f"fixtures/{name}.py")
+
+    return run

@@ -1,0 +1,38 @@
+"""DET bad fixture: every determinism code fires at least once."""
+
+import random
+import time
+
+import numpy as np
+
+
+def global_numpy_rng():
+    np.random.seed(0)  # DET001 legacy global RNG
+    return np.random.rand(4)  # DET001 legacy global RNG
+
+
+def unseeded_generator():
+    return np.random.default_rng()  # DET001 unseeded default_rng
+
+
+def global_stdlib_rng():
+    return random.random()  # DET001 process-global random
+
+
+def unseeded_stdlib_rng():
+    return random.Random()  # DET001 unseeded Random()
+
+
+def wall_clock():
+    return time.time()  # DET002 wall clock
+
+
+def salted_hash(key):
+    return hash(key)  # DET003 builtin hash
+
+
+def order_leak(pages):
+    out = list({p for p in pages})  # DET004 list() over a set
+    for page in set(pages):  # DET004 for over a set
+        out.append(page)
+    return out

@@ -1,0 +1,30 @@
+"""DET good fixture: seeded, clock-free, order-stable equivalents."""
+
+import hashlib
+import random
+
+import numpy as np
+
+
+def seeded_generator(seed):
+    return np.random.default_rng(seed)
+
+
+def seeded_generator_kw():
+    return np.random.default_rng(seed=42)
+
+
+def seeded_stdlib_rng(seed):
+    rng = random.Random(seed)
+    return rng.random()  # instance method, not the module-global
+
+
+def stable_hash(key):
+    return hashlib.sha256(str(key).encode()).hexdigest()
+
+
+def ordered(pages):
+    out = sorted({p for p in pages})
+    for page in sorted(set(pages)):
+        out.append(page)
+    return out

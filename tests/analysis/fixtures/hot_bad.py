@@ -1,0 +1,50 @@
+"""HOT bad fixture — opted in, full of pre-vectorization shapes.
+
+``hash_batch`` is the literal pre-PR-7 scalar H3 loop (the per-bit
+XOR reduction the table gather replaced); the rest cover the other
+HOT codes.
+"""
+# repro: hot-path
+
+import numpy as np
+
+
+class ScalarH3:
+    """The pre-PR-7 H3 batch hash: one python iteration per input bit."""
+
+    def __init__(self, input_bits, pi):
+        self.input_bits = input_bits
+        self._pi = pi
+
+    def hash_batch(self, values, which):
+        values = np.asarray(values, dtype=np.uint64)
+        out = np.zeros(values.shape, dtype=np.uint64)
+        for bit in range(self.input_bits):  # HOT005 loop-carried reduction
+            mask = (values >> np.uint64(bit)) & np.uint64(1)
+            contribution = np.where(mask == 1, self._pi[which, bit], np.uint64(0))
+            out ^= contribution
+        return out
+
+
+def index_loop(counters):
+    total = 0
+    for i in range(len(counters)):  # HOT001 index loop over array extent
+        total = total + counters[i]
+    return total
+
+
+def size_loop(arr):
+    for i in range(arr.size):  # HOT001 range over .size
+        arr[i] = 0
+
+
+def scalarize(pages, table):
+    out = []
+    for page in pages:
+        out.append(table[page].item())  # HOT002 .item() + HOT003 append in loop
+    return out
+
+
+def nonzero_loop(counts, tiers):
+    for node_id in np.nonzero(counts)[0]:  # HOT004 loop over an index array
+        tiers[int(node_id)] += int(counts[node_id])

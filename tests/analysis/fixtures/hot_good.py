@@ -1,0 +1,26 @@
+"""HOT good fixture — opted in, but everything stays in array space."""
+# repro: hot-path
+
+import numpy as np
+
+
+def table_hash(values, tables, num_chunks):
+    byte = (values & np.uint64(0xFF)).astype(np.intp)
+    out = tables[0][:, byte]
+    if num_chunks > 1:
+        shifted = (values >> np.uint64(8)) & np.uint64(0xFF)
+        out = out ^ tables[1][:, shifted.astype(np.intp)]
+    return out
+
+
+def vector_total(counters):
+    return int(counters.sum())
+
+
+def vector_scatter(counts, tiers):
+    idx = np.nonzero(counts)[0]
+    np.add.at(tiers, idx, counts[idx])
+
+
+def gather(pages, table):
+    return table[pages]

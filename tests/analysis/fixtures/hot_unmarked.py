@@ -1,0 +1,26 @@
+"""Same shapes as hot_bad, but no ``# repro: hot-path`` pragma —
+the HOT family must stay silent on modules that never opted in."""
+
+import numpy as np
+
+
+def hash_batch(values, input_bits, pi, which):
+    out = np.zeros(values.shape, dtype=np.uint64)
+    for bit in range(input_bits):
+        mask = (values >> np.uint64(bit)) & np.uint64(1)
+        out ^= np.where(mask == 1, pi[which, bit], np.uint64(0))
+    return out
+
+
+def index_loop(counters):
+    total = 0
+    for i in range(len(counters)):
+        total = total + counters[i]
+    return total
+
+
+def scalarize(pages, table):
+    out = []
+    for page in pages:
+        out.append(table[page].item())
+    return out

@@ -1,0 +1,14 @@
+"""PKL bad fixture: hooks that cannot cross a pickle boundary."""
+
+
+def make_job(spec_cls, build_policy, config):
+    def local_factory():  # a local def…
+        return build_policy("neomem", config)
+
+    spec_cls(
+        policy_factory=lambda: build_policy("neomem", config),  # PKL002 lambda
+        extractor=local_factory,  # PKL002 local def
+        runner="no_such_module_xyz:run",  # PKL001 unresolvable module
+    )
+    spec_cls(runner="repro.experiments.sweep:not_a_real_attr")  # PKL001 bad attr
+    spec_cls(extractor="not-a-dotted-path")  # PKL001 malformed path

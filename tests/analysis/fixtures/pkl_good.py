@@ -1,0 +1,15 @@
+"""PKL good fixture: module-level hooks, dotted paths, partials."""
+
+from functools import partial
+
+
+def module_level_factory(name, config):
+    return (name, config)
+
+
+def make_job(spec_cls, config):
+    spec_cls(
+        policy_factory=partial(module_level_factory, "neomem", config),
+        extractor=module_level_factory,
+        runner="repro.experiments.sweep:run_single",
+    )

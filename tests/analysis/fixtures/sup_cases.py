@@ -1,0 +1,19 @@
+"""Suppression fixture: used, unused, and malformed pragmas."""
+
+import time
+
+
+def justified():
+    return time.time()  # repro: noqa DET002 — fixture: a justified, used suppression
+
+
+def unjustified():
+    return time.time()  # repro: noqa DET002
+
+
+def bare():
+    return time.time()  # repro: noqa
+
+
+def stale(x):
+    return x + 1  # repro: noqa DET003 — nothing here ever hashes

@@ -1,0 +1,12 @@
+"""File-wide suppression fixture: one pragma covers every DET002."""
+# repro: noqa-file DET002 — fixture: this module is allowed to read the clock
+
+import time
+
+
+def first():
+    return time.time()
+
+
+def second():
+    return time.perf_counter()

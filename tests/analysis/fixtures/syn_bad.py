@@ -1,0 +1,4 @@
+"""Syntax-error fixture: the analyzer must report SYN001, not crash."""
+
+def broken(:
+    return 1

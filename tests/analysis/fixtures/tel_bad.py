@@ -1,0 +1,19 @@
+"""TEL bad fixture: loose spans, bare metrics, drains outside the owner."""
+
+from repro.telemetry import Counter, Histogram
+
+
+def loose_span(tel):
+    span = tel.span("account")  # TEL001 span outside a with-statement
+    span.__enter__()
+    return span
+
+
+def bare_metrics():
+    c = Counter()  # TEL002 metric constructed directly
+    h = Histogram()  # TEL002 metric constructed directly
+    return c, h
+
+
+def steal_stats(migration):
+    return migration.drain_stats()  # TEL003 drain outside the owner

@@ -1,0 +1,83 @@
+"""Baseline round trip, line-shift tolerance, multiset semantics."""
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import (
+    BaselineError,
+    load_baseline,
+    partition,
+    write_baseline,
+)
+from repro.analysis.engine import Finding
+
+
+def finding(path="m.py", line=10, code="DET001", content="x = rng()"):
+    return Finding(path, line, 1, code, "msg", content)
+
+
+class TestRoundTrip:
+    def test_write_then_load_grandfathers_everything(self, tmp_path):
+        findings = [finding(line=3), finding(line=9, code="DET002", content="t = time.time()")]
+        target = tmp_path / "baseline.json"
+        write_baseline(target, findings)
+        baseline = load_baseline(target)
+        new, old = partition(findings, baseline)
+        assert new == []
+        assert old == findings
+
+    def test_line_shift_still_matches(self, tmp_path):
+        """Baselines key on content, not line numbers: an edit above the
+        grandfathered line must not resurrect the finding."""
+        target = tmp_path / "baseline.json"
+        write_baseline(target, [finding(line=10)])
+        shifted = finding(line=42)
+        new, old = partition([shifted], load_baseline(target))
+        assert new == []
+        assert old == [shifted]
+
+    def test_content_change_is_a_new_finding(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        write_baseline(target, [finding(content="x = rng()")])
+        changed = finding(content="y = rng()")
+        new, _ = partition([changed], load_baseline(target))
+        assert new == [changed]
+
+
+class TestMultiset:
+    def test_duplicate_lines_need_duplicate_entries(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        write_baseline(target, [finding(line=1), finding(line=2)])  # same key, twice
+        three = [finding(line=1), finding(line=2), finding(line=3)]
+        new, old = partition(three, load_baseline(target))
+        assert len(old) == 2
+        assert len(new) == 1
+
+
+class TestValidation:
+    def test_invalid_json_raises(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text("{nope")
+        with pytest.raises(BaselineError, match="not valid JSON"):
+            load_baseline(target)
+
+    def test_wrong_schema_raises(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text(json.dumps({"schema": 99, "findings": []}))
+        with pytest.raises(BaselineError, match="schema"):
+            load_baseline(target)
+
+    def test_malformed_entry_raises(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text(json.dumps({"schema": 1, "findings": [{"path": "m.py"}]}))
+        with pytest.raises(BaselineError, match="malformed entry"):
+            load_baseline(target)
+
+    def test_written_file_is_sorted_and_stable(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        findings = [finding(path="z.py"), finding(path="a.py")]
+        write_baseline(target, findings)
+        first = target.read_text()
+        write_baseline(target, list(reversed(findings)))
+        assert target.read_text() == first

@@ -1,0 +1,137 @@
+"""CLI behavior: exit codes, JSON schema, baseline modes — and the
+acceptance-criteria assertion that the repo's own tree is clean."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.__main__ import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def run_cli(args, cwd):
+    """Invoke main() with an isolated cwd (baseline defaults are cwd-relative)."""
+    import contextlib
+    import io
+    import os
+
+    out = io.StringIO()
+    old = os.getcwd()
+    os.chdir(cwd)
+    try:
+        with contextlib.redirect_stdout(out):
+            rc = main(args)
+    finally:
+        os.chdir(old)
+    return rc, out.getvalue()
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, tmp_path):
+        target = tmp_path / "ok.py"
+        target.write_text("x = 1\n")
+        rc, out = run_cli([str(target)], tmp_path)
+        assert rc == 0
+        assert "0 new finding(s)" in out
+
+    def test_findings_exit_one(self, tmp_path):
+        rc, out = run_cli([str(FIXTURES / "det_bad.py")], tmp_path)
+        assert rc == 1
+        assert "DET001" in out
+
+    def test_corrupt_baseline_exits_two(self, tmp_path):
+        (tmp_path / "bad.json").write_text("{nope")
+        target = tmp_path / "ok.py"
+        target.write_text("x = 1\n")
+        rc, _ = run_cli([str(target), "--baseline", str(tmp_path / "bad.json")], tmp_path)
+        assert rc == 2
+
+
+class TestBaselineModes:
+    def test_write_baseline_then_enforce(self, tmp_path):
+        bad = FIXTURES / "det_bad.py"
+        rc, out = run_cli([str(bad), "--write-baseline"], tmp_path)
+        assert rc == 0
+        assert (tmp_path / "analysis-baseline.json").is_file()
+        # default run picks the baseline up from cwd and passes
+        rc, out = run_cli([str(bad)], tmp_path)
+        assert rc == 0
+        assert "grandfathered" in out
+        # --no-baseline ignores it again
+        rc, _ = run_cli([str(bad), "--no-baseline"], tmp_path)
+        assert rc == 1
+
+    def test_new_finding_fails_despite_baseline(self, tmp_path):
+        bad = FIXTURES / "det_bad.py"
+        run_cli([str(bad), "--write-baseline"], tmp_path)
+        extra = tmp_path / "extra.py"
+        extra.write_text("import time\nt = time.time()\n")
+        rc, out = run_cli([str(bad), str(extra)], tmp_path)
+        assert rc == 1
+        assert "extra.py" in out
+
+
+class TestJsonOutput:
+    def test_json_schema(self, tmp_path):
+        rc, out = run_cli([str(FIXTURES / "det_bad.py"), "--json"], tmp_path)
+        assert rc == 1
+        payload = json.loads(out)
+        assert payload["schema"] == 1
+        assert payload["files_scanned"] == 1
+        assert payload["grandfathered"] == []
+        assert payload["counts"]["DET001"] == 5
+        entry = payload["new"][0]
+        assert set(entry) == {"path", "line", "col", "code", "message", "content"}
+
+    def test_json_out_writes_file(self, tmp_path):
+        report = tmp_path / "findings.json"
+        rc, _ = run_cli(
+            [str(FIXTURES / "det_bad.py"), "--json-out", str(report)], tmp_path
+        )
+        assert rc == 1
+        payload = json.loads(report.read_text())
+        assert payload["new"]
+
+    def test_list_rules(self, tmp_path):
+        rc, out = run_cli(["--list-rules"], tmp_path)
+        assert rc == 0
+        for code in ("DET001", "HOT005", "PKL002", "TEL003", "SUP002"):
+            assert code in out
+
+
+class TestRepoTree:
+    """The shipped tree is clean — the ISSUE's acceptance criterion."""
+
+    def test_module_entrypoint_clean_on_src_and_tests(self):
+        import os
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(REPO_ROOT / "src"), env.get("PYTHONPATH", "")]
+        ).rstrip(os.pathsep)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "src", "tests"],
+            cwd=REPO_ROOT,
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "0 new finding(s)" in proc.stdout
+
+    def test_committed_baseline_is_empty(self):
+        """We fixed or justified everything; the baseline grandfathers nothing."""
+        payload = json.loads((REPO_ROOT / "analysis-baseline.json").read_text())
+        assert payload == {"schema": 1, "findings": []}
+
+
+@pytest.mark.parametrize("flag", ["--help"])
+def test_help_runs(flag, tmp_path):
+    with pytest.raises(SystemExit) as exc:
+        main([flag])
+    assert exc.value.code == 0

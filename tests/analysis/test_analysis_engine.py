@@ -1,0 +1,163 @@
+"""Engine mechanics: suppressions, pragmas, traversal, file discovery."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import analyze_file, iter_python_files
+from repro.analysis.engine import Finding
+
+
+def analyze_source(tmp_path, source, name="mod.py"):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source))
+    return analyze_file(path, rel=name)
+
+
+class TestSuppression:
+    def test_justified_noqa_suppresses(self, fixture_ctx):
+        ctx = fixture_ctx("sup_cases")
+        codes = [f.code for f in ctx.findings]
+        # the justified DET002 is suppressed; the rest of the pragmas are wrong
+        assert ctx.suppressed == 1
+        assert codes.count("SUP001") == 2  # no-reason and bare noqa
+        assert codes.count("SUP002") == 1  # stale DET003 pragma
+        # the unjustified/bare pragmas do NOT suppress: their DET002s remain
+        assert codes.count("DET002") == 2
+
+    def test_file_wide_noqa(self, fixture_ctx):
+        ctx = fixture_ctx("sup_file_wide")
+        assert ctx.findings == []
+        assert ctx.suppressed == 2  # both clock reads, one pragma
+
+    def test_noqa_only_covers_named_codes(self, tmp_path):
+        ctx = analyze_source(
+            tmp_path,
+            """
+            import time
+            t = time.time()  # repro: noqa DET003 — wrong code on purpose
+            """,
+        )
+        codes = [f.code for f in ctx.findings]
+        assert "DET002" in codes  # still fires: DET003 != DET002
+        assert "SUP002" in codes  # and the DET003 pragma is unused
+
+    def test_separator_variants_accepted(self, tmp_path):
+        for sep in ("—", "--", "-", ":"):
+            ctx = analyze_source(
+                tmp_path,
+                f"""
+                import time
+                t = time.time()  # repro: noqa DET002 {sep} reason text
+                """,
+            )
+            assert ctx.findings == [], sep
+            assert ctx.suppressed == 1
+
+    def test_multiple_codes_one_pragma(self, tmp_path):
+        ctx = analyze_source(
+            tmp_path,
+            """
+            import time
+            t = hash(time.time())  # repro: noqa DET002, DET003 — both intentional
+            """,
+        )
+        assert ctx.findings == []
+        assert ctx.suppressed == 2
+
+    def test_pragma_inside_string_literal_is_ignored(self, tmp_path):
+        ctx = analyze_source(
+            tmp_path,
+            '''
+            DOC = "# repro: noqa-file DET002 — not a real pragma"
+            import time
+            t = time.time()
+            ''',
+        )
+        assert [f.code for f in ctx.findings] == ["DET002"]
+
+
+class TestHotPragma:
+    def test_hot_pragma_sets_context_flag(self, fixture_ctx):
+        assert fixture_ctx("hot_bad").hot_path is True
+        assert fixture_ctx("hot_unmarked").hot_path is False
+
+
+class TestImportAwareness:
+    def test_aliased_numpy_import_is_resolved(self, tmp_path):
+        ctx = analyze_source(
+            tmp_path,
+            """
+            import numpy as xyz
+            r = xyz.random.seed(3)
+            """,
+        )
+        assert [f.code for f in ctx.findings] == ["DET001"]
+
+    def test_from_import_is_resolved(self, tmp_path):
+        ctx = analyze_source(
+            tmp_path,
+            """
+            from time import time
+            t = time()
+            """,
+        )
+        assert [f.code for f in ctx.findings] == ["DET002"]
+
+
+class TestFileDiscovery:
+    def test_fixtures_directories_are_pruned(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "ok.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "fixtures").mkdir()
+        (tmp_path / "pkg" / "fixtures" / "bad.py").write_text("import time\n")
+        files = iter_python_files([tmp_path])
+        assert [p.name for p in files] == ["ok.py"]
+
+    def test_explicit_file_always_included(self, tmp_path):
+        (tmp_path / "fixtures").mkdir()
+        target = tmp_path / "fixtures" / "bad.py"
+        target.write_text("x = 1\n")
+        assert iter_python_files([target]) == [target]
+
+    def test_duplicates_collapse(self, tmp_path):
+        target = tmp_path / "one.py"
+        target.write_text("x = 1\n")
+        assert len(iter_python_files([target, target, tmp_path])) == 1
+
+
+class TestFinding:
+    def test_render_and_dict_shape(self):
+        f = Finding("a/b.py", 3, 7, "DET001", "msg", "content line")
+        assert f.render() == "a/b.py:3:7: DET001 msg"
+        assert f.to_dict() == {
+            "path": "a/b.py",
+            "line": 3,
+            "col": 7,
+            "code": "DET001",
+            "message": "msg",
+            "content": "content line",
+        }
+
+    def test_finding_carries_source_content(self, fixture_ctx):
+        ctx = fixture_ctx("det_bad")
+        det3 = next(f for f in ctx.findings if f.code == "DET003")
+        assert det3.content == "return hash(key)  # DET003 builtin hash"
+
+
+class TestTelemetryExemptions:
+    def test_telemetry_package_paths_skip_tel_and_det002(self, tmp_path):
+        pkg = tmp_path / "repro" / "telemetry"
+        pkg.mkdir(parents=True)
+        path = pkg / "core.py"
+        path.write_text("import time\nt = time.perf_counter()\ns = object().span('x')\n")
+        ctx = analyze_file(path, rel="src/repro/telemetry/core.py")
+        assert ctx.findings == []
+
+
+@pytest.mark.parametrize("name", ["det_good", "hot_good", "pkl_good", "tel_good"])
+def test_good_fixtures_have_no_suppressions_either(fixture_ctx, name):
+    """Good fixtures are clean outright, not clean-via-noqa."""
+    ctx = fixture_ctx(name)
+    assert ctx.findings == []
+    assert ctx.suppressed == 0

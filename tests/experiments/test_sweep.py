@@ -66,7 +66,7 @@ class TestJobKey:
             JobSpec("gups", "neomem", TINY, workload_overrides={"total_batches": 2}),
             JobSpec("gups", "neomem", TINY, policy_kwargs={"sample_interval": 10}),
             JobSpec("gups", "neomem", TINY, prefill=False),
-            JobSpec("gups", "neomem", TINY, extractor="m:f"),
+            JobSpec("gups", "neomem", TINY, extractor="m:f"),  # repro: noqa PKL001 — deliberately-unresolvable hook path, proving it changes the cache key
         ]
         keys = {job_key(v) for v in variants}
         assert job_key(base) not in keys

@@ -1,4 +1,5 @@
 """Tests for the migration engine: quota, ping-pong, capacity handling."""
+# repro: noqa-file TEL003 — this suite tests the drain-once/peek contract itself
 
 import numpy as np
 import pytest

@@ -1,5 +1,6 @@
 """Engine + telemetry integration: phases, counters, audit events,
 determinism, and the disabled-mode fast path."""
+# repro: noqa-file DET002, TEL001, TEL003 — telemetry tests time real wall clocks and exercise span/drain contracts directly
 
 import time
 

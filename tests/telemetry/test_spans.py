@@ -49,7 +49,7 @@ class TestModes:
             parse_mode(7)
 
     def test_disabled_hands_out_shared_noops(self):
-        assert DISABLED.span("x") is NOOP_SPAN
+        assert DISABLED.span("x") is NOOP_SPAN  # repro: noqa TEL001 — asserts the disabled singleton hands back NOOP_SPAN by identity
         assert DISABLED.counter("c") is NOOP_METRIC
         assert DISABLED.gauge("g") is NOOP_METRIC
         assert DISABLED.histogram("h") is NOOP_METRIC
