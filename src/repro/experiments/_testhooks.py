@@ -35,3 +35,19 @@ def seed_runner(spec) -> float:
     replica-statistics tests get exactly computable aggregates without
     paying for a simulation."""
     return float(spec.resolved_config().seed)
+
+
+def raising_runner(spec):
+    """Custom runner that always fails — exercises the executor's
+    cleanup paths (the trace plane must release its segments even when
+    a job blows up mid-sweep)."""
+    raise RuntimeError(f"raising_runner: {spec.label()}")
+
+
+def exit_runner(spec) -> None:
+    """Custom runner that kills its worker process outright — the
+    hardest cleanup case: the pool breaks (BrokenProcessPool) and the
+    worker never gets to run any teardown."""
+    import os
+
+    os._exit(13)

@@ -7,17 +7,27 @@ strategies — starting with multi-host sharding — plug in without
 touching the executor's dedup/cache logic:
 
 * :class:`SerialBackend` — in-process, deterministic, no pool overhead.
-* :class:`ProcessPoolBackend` — today's ``ProcessPoolExecutor`` fan-out.
+* :class:`ProcessPoolBackend` — a *persistent, warm*
+  ``ProcessPoolExecutor`` fan-out: workers start once (pre-importing
+  the hot modules), jobs ship as pre-pickled chunks in heaviest-first
+  order, and traces arrive through the shared-memory trace plane
+  (:mod:`repro.experiments.traceplane`) instead of being regenerated
+  per worker.
 * :class:`ShardedBackend` — the first *distributed* backend: it
-  deterministically partitions the job list by stable content hash
-  (:func:`shard_of`) and executes only its own shard, leaving
-  :data:`SHARD_SKIPPED` markers for the rest.  N independent hosts (CI
-  runners, cluster nodes) each run one shard against a private cache
-  directory; :func:`merge_shards` then fans the per-shard caches into
-  one directory, erroring on key collisions whose payloads disagree.
-  Because partitioning keys off :func:`~repro.experiments.sweep.job_key`
-  — not list position — it is stable under job reordering and two
-  shards can never execute (or cache) conflicting entries for one key.
+  deterministically partitions the job list (:func:`shard_assignment`)
+  and executes only its own shard, leaving :data:`SHARD_SKIPPED`
+  markers for the rest.  N independent hosts (CI runners, cluster
+  nodes) each run one shard against a private cache directory;
+  :func:`merge_shards` then fans the per-shard caches into one
+  directory, erroring on key collisions whose payloads disagree.
+  Assignment is cost-weighted LPT by default — per-job weights mined
+  from manifest ``wall_s`` history, a pages×batches heuristic on cold
+  caches (:mod:`repro.experiments.scheduling`) — with
+  ``REPRO_SWEEP_SCHEDULER=hash`` restoring PR 5's content-hash
+  round-robin (:func:`shard_of`).  Either way assignment keys off
+  :func:`~repro.experiments.sweep.job_key` — not list position — so it
+  is stable under job reordering and two shards can never execute (or
+  cache) conflicting entries for one key.
 
 Backend selection is env-driven so existing harnesses pick it up
 without code changes: ``REPRO_SWEEP_SHARD``/``REPRO_SWEEP_NUM_SHARDS``
@@ -28,19 +38,31 @@ the local (or per-shard inner) execution path.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
+import pickle
 from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Sequence
+from typing import Mapping, Sequence
 
+from repro.experiments import traceplane
+from repro.experiments.scheduling import (
+    lpt_assignment,
+    job_weights,
+    resolve_scheduler,
+    SCHEDULER_HASH,
+    submission_order,
+)
 from repro.experiments.sweep import (
     JobSpec,
     SweepError,
     _execute_job,
     job_key,
 )
+from repro.telemetry import MODE_METRICS, Telemetry
 
 __all__ = [
     "ExecutionBackend",
@@ -52,6 +74,7 @@ __all__ = [
     "SHARD_SKIPPED",
     "is_shard_skipped",
     "shard_of",
+    "shard_assignment",
     "partition",
     "merge_shards",
     "make_backend",
@@ -60,6 +83,7 @@ __all__ = [
     "BACKEND_ENV",
     "SHARD_ENV",
     "NUM_SHARDS_ENV",
+    "CHUNK_ENV",
 ]
 
 #: force a named backend ("serial", "process-pool", "sharded")
@@ -68,6 +92,8 @@ BACKEND_ENV = "REPRO_SWEEP_BACKEND"
 SHARD_ENV = "REPRO_SWEEP_SHARD"
 #: total number of shards splitting the job list
 NUM_SHARDS_ENV = "REPRO_SWEEP_NUM_SHARDS"
+#: jobs per pool submission (default: auto-sized from batch and workers)
+CHUNK_ENV = "REPRO_SWEEP_CHUNK"
 
 
 class ShardMergeError(SweepError):
@@ -85,9 +111,22 @@ class ExecutionBackend(ABC):
     return one entry per spec, in spec order; entries may be
     :data:`SHARD_SKIPPED` when the backend intentionally leaves a job
     to another shard (the executor will not cache those).
+
+    After ``execute`` returns, ``last_job_wall_ns`` holds one measured
+    per-job wall clock per spec (``None`` for skipped jobs) and
+    ``last_dispatch_ns`` the backend's own dispatch-overhead breakdown
+    — the executor feeds both into run manifests and bench records.
     """
 
     name: str = "?"
+    #: True when the backend ships jobs to other processes that can
+    #: attach the shared-memory trace plane (the executor only pays the
+    #: plane's publish cost for such backends)
+    uses_plane: bool = False
+
+    def __init__(self) -> None:
+        self.last_job_wall_ns: list[int | None] = []
+        self.last_dispatch_ns: dict[str, int] = {}
 
     @abstractmethod
     def execute(
@@ -95,17 +134,57 @@ class ExecutionBackend(ABC):
         specs: Sequence[JobSpec],
         unpicklable: str = "error",
         keys: Sequence[str] | None = None,
+        weights: Mapping[str, float] | None = None,
+        plane_table: dict | None = None,
     ) -> list:
         """Run every spec, returning sanitized results in spec order.
 
         ``keys`` are the specs' precomputed :func:`job_key` hashes when
         the caller already has them (the executor always does); backends
         that partition by key use them instead of re-hashing.
+        ``weights`` maps job keys (covering at least the given specs —
+        the executor passes the whole run's key set so sharded
+        assignment sees the full list) to relative costs for LPT
+        scheduling; ``plane_table`` is the shared-memory trace-plane
+        descriptor table to install in workers.
         """
+
+    def close(self) -> None:
+        """Release any held execution resources (idempotent)."""
 
     def describe(self) -> str:
         """Human-readable identity for logs and stats lines."""
         return self.name
+
+
+def _timed_execute_job(payload: tuple[JobSpec, str]):
+    """Run one job under a local wall-clock span; returns
+    ``(result, wall_ns)``.  The span comes from a private metrics-mode
+    Telemetry so measurement works regardless of the global mode."""
+    tel = Telemetry(MODE_METRICS)
+    with tel.span("job"):
+        result = _execute_job(payload)
+    return result, tel.phase_totals().get("job", 0)
+
+
+def _execute_chunk(blob: bytes, plane_table: dict | None):
+    """Process-pool entry point for one pre-pickled chunk of payloads.
+
+    Installs the trace-plane table (so the runner's trace-cache misses
+    attach shared memory instead of regenerating), runs every payload,
+    and ships back per-job wall clocks plus this worker's accumulated
+    dispatch-overhead ns (attach + warmup, consume-once).
+    """
+    if plane_table:
+        traceplane.install_table(plane_table)
+    payloads = pickle.loads(blob)
+    results = []
+    walls = []
+    for payload in payloads:
+        result, wall_ns = _timed_execute_job(payload)
+        results.append(result)
+        walls.append(wall_ns)
+    return results, walls, traceplane.consume_worker_ns()
 
 
 class SerialBackend(ExecutionBackend):
@@ -119,36 +198,158 @@ class SerialBackend(ExecutionBackend):
         specs: Sequence[JobSpec],
         unpicklable: str = "error",
         keys: Sequence[str] | None = None,
+        weights: Mapping[str, float] | None = None,
+        plane_table: dict | None = None,
     ) -> list:
-        return [_execute_job((spec, unpicklable)) for spec in specs]
+        self.last_dispatch_ns = {}
+        results = []
+        walls: list[int | None] = []
+        for spec in specs:
+            result, wall_ns = _timed_execute_job((spec, unpicklable))
+            results.append(result)
+            walls.append(wall_ns)
+        self.last_job_wall_ns = walls
+        return results
+
+
+def _chunk_size_for(n_jobs: int, workers: int) -> int:
+    """Jobs per pool submission: ``REPRO_SWEEP_CHUNK`` when set, else
+    sized so each worker sees ~4 chunks — big enough to amortize pickle
+    and IPC, small enough that LPT ordering still balances the tail."""
+    explicit = _env_int(CHUNK_ENV)
+    if explicit is not None:
+        if explicit < 1:
+            raise SweepError(f"{CHUNK_ENV} must be >= 1, got {explicit}")
+        return explicit
+    return max(1, min(32, -(-n_jobs // (workers * 4))))
 
 
 class ProcessPoolBackend(ExecutionBackend):
-    """Fan jobs over a local ``ProcessPoolExecutor``.
+    """Fan jobs over a persistent, warm ``ProcessPoolExecutor``.
 
-    A batch of one job (or ``workers=1``) runs inline — the pool's
-    startup cost buys nothing there.
+    The pool outlives ``execute`` calls: workers start once (running
+    :func:`repro.experiments.traceplane.pool_initializer`, which
+    pre-imports the hot modules) and keep their process-level caches —
+    attached shared-memory traces, derived-account memos, H3 XOR
+    tables — across batches, so consecutive jobs on a warm worker skip
+    setup entirely.  Jobs ship as pre-pickled chunks (amortizing
+    pickle/IPC, measured under a ``job_pickle`` span) in heaviest-first
+    LPT order.  A batch of one job (or ``workers=1``) runs inline — the
+    pool buys nothing there.
+
+    Call :meth:`close` (or let the executor's context manager do it) to
+    shut the pool down; a broken pool (worker crash) is disposed and
+    the next ``execute`` starts a fresh one.
     """
 
     name = "process-pool"
+    uses_plane = True
 
-    def __init__(self, workers: int):
+    def __init__(
+        self,
+        workers: int,
+        chunk_size: int | None = None,
+        start_method: str | None = None,
+    ):
+        super().__init__()
         if workers < 1:
             raise SweepError(f"workers must be >= 1, got {workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise SweepError(f"chunk_size must be >= 1, got {chunk_size}")
         self.workers = workers
+        self.chunk_size = chunk_size
+        self.start_method = start_method
+        self._pool: ProcessPoolExecutor | None = None
 
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            context = (
+                multiprocessing.get_context(self.start_method)
+                if self.start_method
+                else None
+            )
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=context,
+                initializer=traceplane.pool_initializer,
+            )
+        return self._pool
+
+    def _dispose_pool(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def close(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def __del__(self) -> None:
+        try:
+            self._dispose_pool()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
     def execute(
         self,
         specs: Sequence[JobSpec],
         unpicklable: str = "error",
         keys: Sequence[str] | None = None,
+        weights: Mapping[str, float] | None = None,
+        plane_table: dict | None = None,
     ) -> list:
-        payloads = [(spec, unpicklable) for spec in specs]
-        if self.workers > 1 and len(specs) > 1:
-            max_workers = min(self.workers, len(specs))
-            with ProcessPoolExecutor(max_workers=max_workers) as pool:
-                return list(pool.map(_execute_job, payloads))
-        return [_execute_job(payload) for payload in payloads]
+        self.last_dispatch_ns = {}
+        if self.workers <= 1 or len(specs) <= 1:
+            results = []
+            walls: list[int | None] = []
+            for spec in specs:
+                result, wall_ns = _timed_execute_job((spec, unpicklable))
+                results.append(result)
+                walls.append(wall_ns)
+            self.last_job_wall_ns = walls
+            return results
+
+        if keys is None:
+            keys = [job_key(spec) for spec in specs]
+        order = submission_order(keys, weights)
+        chunk_size = self.chunk_size or _chunk_size_for(len(specs), self.workers)
+        chunks = [order[i : i + chunk_size] for i in range(0, len(order), chunk_size)]
+
+        # pre-pickling in the parent (rather than letting the pool's
+        # feeder thread do it per submit) is what lets the job_pickle
+        # span measure serialization honestly — and ships one blob per
+        # chunk instead of one message per job
+        tel = Telemetry(MODE_METRICS)
+        blobs = []
+        with tel.span("job_pickle"):
+            for chunk in chunks:
+                payloads = [(specs[i], unpicklable) for i in chunk]
+                blobs.append(pickle.dumps(payloads, protocol=pickle.HIGHEST_PROTOCOL))
+
+        pool = self._ensure_pool()
+        try:
+            futures = [pool.submit(_execute_chunk, blob, plane_table) for blob in blobs]
+            results: list = [None] * len(specs)
+            walls = [None] * len(specs)
+            dispatch = {"job_pickle": tel.phase_totals().get("job_pickle", 0)}
+            for chunk, future in zip(chunks, futures):
+                chunk_results, chunk_walls, worker_ns = future.result()
+                for i, result, wall_ns in zip(chunk, chunk_results, chunk_walls):
+                    results[i] = result
+                    walls[i] = wall_ns
+                for phase, ns in worker_ns.items():
+                    dispatch[phase] = dispatch.get(phase, 0) + ns
+        except BrokenProcessPool:
+            # a dead worker poisons the whole pool; drop it so the next
+            # execute starts clean instead of failing forever
+            self._dispose_pool()
+            raise
+        self.last_job_wall_ns = walls
+        self.last_dispatch_ns = dispatch
+        return results
 
     def describe(self) -> str:
         return f"{self.name}[{self.workers}]"
@@ -205,10 +406,43 @@ def shard_of(spec: JobSpec, num_shards: int) -> int:
     return _shard_of_key(job_key(spec), num_shards)
 
 
-def partition(specs: Sequence[JobSpec], shard: int, num_shards: int) -> list[JobSpec]:
+def shard_assignment(
+    specs: Sequence[JobSpec],
+    num_shards: int,
+    keys: Sequence[str] | None = None,
+    weights: Mapping[str, float] | None = None,
+    scheduler: str | None = None,
+) -> dict[str, int]:
+    """Job key -> owning shard for a whole job list.
+
+    The default (``REPRO_SWEEP_SCHEDULER=cost``) packs keys onto shards
+    longest-processing-time-first using manifest-mined or heuristic
+    weights (:mod:`repro.experiments.scheduling`); ``hash`` restores the
+    PR 5 content-hash round-robin.  Either way assignment is a pure
+    function of job identities (plus weights), so it is reorder-stable,
+    disjoint and exhaustive, and a tag change can never move a job.
+    """
+    _validate_sharding(0, num_shards)
+    if keys is None:
+        keys = [job_key(spec) for spec in specs]
+    if resolve_scheduler(scheduler) == SCHEDULER_HASH:
+        return {key: _shard_of_key(key, num_shards) for key in keys}
+    if weights is None:
+        weights = job_weights(specs, keys)
+    return lpt_assignment(weights, num_shards)
+
+
+def partition(
+    specs: Sequence[JobSpec],
+    shard: int,
+    num_shards: int,
+    scheduler: str | None = None,
+) -> list[JobSpec]:
     """The sub-list of ``specs`` owned by ``shard``, in input order."""
     _validate_sharding(shard, num_shards)
-    return [spec for spec in specs if shard_of(spec, num_shards) == shard]
+    keys = [job_key(spec) for spec in specs]
+    assignment = shard_assignment(specs, num_shards, keys=keys, scheduler=scheduler)
+    return [spec for spec, key in zip(specs, keys) if assignment[key] == shard]
 
 
 class ShardedBackend(ExecutionBackend):
@@ -232,25 +466,56 @@ class ShardedBackend(ExecutionBackend):
         shard: int,
         num_shards: int,
         inner: ExecutionBackend | None = None,
+        scheduler: str | None = None,
     ):
+        super().__init__()
         _validate_sharding(shard, num_shards)
         if isinstance(inner, ShardedBackend):
             raise SweepError("sharded backends do not nest")
         self.shard = shard
         self.num_shards = num_shards
         self.inner = inner if inner is not None else SerialBackend()
+        self.scheduler = scheduler
+
+    @property
+    def uses_plane(self) -> bool:
+        return self.inner.uses_plane
+
+    def close(self) -> None:
+        self.inner.close()
 
     def execute(
         self,
         specs: Sequence[JobSpec],
         unpicklable: str = "error",
         keys: Sequence[str] | None = None,
+        weights: Mapping[str, float] | None = None,
+        plane_table: dict | None = None,
     ) -> list:
         if keys is None:
             keys = [job_key(spec) for spec in specs]
-        owned = [_shard_of_key(key, self.num_shards) == self.shard for key in keys]
+        # assignment covers the whole weight table when the executor
+        # passed one (its run's full key set), so a partially cached
+        # grid still splits exactly like the uncached full list and the
+        # shards' executed slices stay complementary
+        assignment = shard_assignment(
+            specs, self.num_shards, keys=keys, weights=weights,
+            scheduler=self.scheduler,
+        )
+        owned = [assignment[key] == self.shard for key in keys]
         mine = [spec for spec, ours in zip(specs, owned) if ours]
-        results = iter(self.inner.execute(mine, unpicklable))
+        mine_keys = [key for key, ours in zip(keys, owned) if ours]
+        results = iter(
+            self.inner.execute(
+                mine, unpicklable, keys=mine_keys, weights=weights,
+                plane_table=plane_table,
+            )
+        )
+        inner_walls = iter(self.inner.last_job_wall_ns)
+        self.last_job_wall_ns = [
+            next(inner_walls, None) if ours else None for ours in owned
+        ]
+        self.last_dispatch_ns = dict(self.inner.last_dispatch_ns)
         return [next(results) if ours else SHARD_SKIPPED for ours in owned]
 
     def describe(self) -> str:

@@ -113,15 +113,60 @@ class _RecordingWorkload:
     def next_batch(self, rng):
         batch = self._inner.next_batch(rng)
         if batch is None:
-            while len(_TRACE_CACHE) >= _TRACE_CACHE_MAX:
-                _TRACE_CACHE.pop(next(iter(_TRACE_CACHE)))
-            _TRACE_CACHE[self._key] = self._recorded
+            _cache_trace(self._key, self._recorded)
         else:
             self._recorded.append((batch[0].copy(), batch[1].copy()))
         return batch
 
     def __getattr__(self, name):
         return getattr(self._inner, name)
+
+
+def _cache_trace(key: tuple, trace: list) -> None:
+    """Insert a complete trace into the bounded in-process cache."""
+    while len(_TRACE_CACHE) >= _TRACE_CACHE_MAX:
+        _TRACE_CACHE.pop(next(iter(_TRACE_CACHE)))
+    _TRACE_CACHE[key] = trace
+
+
+def materialize_trace(workload, seed: int, key: tuple | None = None) -> list:
+    """The complete ``(pages, is_write)`` trace of a fresh workload.
+
+    Generates exactly what an engine run would consume: the engine's rng
+    (``np.random.default_rng(seed)``) feeds nothing but ``next_batch``,
+    so draining a fresh workload here is bit-identical to recording it
+    from a live run.  Keyable traces are served from — and recorded
+    into — the in-process trace cache; this is the parent-side producer
+    the shared-memory trace plane publishes from.
+    """
+    if key is None:
+        key = _workload_trace_key(workload, seed)
+    if key is not None:
+        trace = _TRACE_CACHE.get(key)
+        if trace is not None:
+            return trace
+    rng = np.random.default_rng(seed)
+    trace = []
+    while True:
+        batch = workload.next_batch(rng)
+        if batch is None:
+            break
+        trace.append((batch[0].copy(), batch[1].copy()))
+    if key is not None:
+        _cache_trace(key, trace)
+    return trace
+
+
+def _plane_trace(key: tuple) -> list | None:
+    """A worker-side trace-cache miss falls through to the shared-memory
+    trace plane; an attached trace backs the cache for the rest of the
+    worker's life (views stay valid after the parent unlinks)."""
+    from repro.experiments import traceplane  # deferred: plane is optional
+
+    trace = traceplane.worker_trace(key)
+    if trace is not None:
+        _cache_trace(key, trace)
+    return trace
 
 
 def _with_trace_cache(workload, seed: int):
@@ -155,6 +200,8 @@ def _attach_trace_and_memo(workload, engine):
     cache = engine.cache
     dkey = (key, cache.capacity_pages, cache.max_page_id, cache.lines_per_page)
     trace = _TRACE_CACHE.get(key)
+    if trace is None:
+        trace = _plane_trace(key)
     if trace is not None:
         entries = _DERIVED_CACHE.get(dkey)
         if entries is not None:

@@ -1,0 +1,197 @@
+"""Cost-weighted job scheduling: manifest-mined weights and LPT packing.
+
+Content-hash sharding (PR 5) and FIFO pool submission treat every job
+as equally expensive, but a figure grid mixes workloads whose wall
+clocks differ by multiples — blind assignment leaves one shard (or one
+worker) grinding its heavy jobs while the rest sit idle.  This module
+supplies the two pieces the backends need to schedule by *cost*:
+
+* **weights** — every executed sweep job already leaves a provenance
+  line in its cache directory's ``MANIFEST.jsonl``; :func:`runtime_history`
+  mines those records into mean measured wall clock per job label, and
+  :func:`job_weights` maps a spec list onto weights from that history.
+  The measured path only engages when history covers *every* label in
+  the batch — mixing measured seconds with heuristic page counts would
+  make the comparison meaningless — otherwise every job falls back to
+  the page-count heuristic (``RSS pages x batches``), which is a pure
+  function of the spec and therefore identical on every host.
+* **LPT packing** — :func:`lpt_assignment` places unique job keys on
+  shards longest-processing-time-first (the classic greedy 4/3
+  approximation), and :func:`submission_order` orders pool submission
+  heaviest-first so the stragglers start first and the small jobs fill
+  the tail.
+
+Determinism is load-bearing: every function here is a pure function of
+``(job identities, weights, shard count)`` — keys are processed in
+sorted ``(-weight, key)`` order with lowest-index tie-breaks — so every
+host slicing the same job list with the same manifest history computes
+the same disjoint, exhaustive partition, and reordering the input list
+cannot move a job.  ``REPRO_SWEEP_SCHEDULER=hash`` restores PR 5's pure
+content-hash assignment (useful when shards cannot see the same
+manifest history).
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Mapping, Sequence
+
+__all__ = [
+    "SCHEDULER_ENV",
+    "SCHEDULER_COST",
+    "SCHEDULER_HASH",
+    "resolve_scheduler",
+    "base_label",
+    "runtime_history",
+    "heuristic_weight",
+    "job_weights",
+    "lpt_assignment",
+    "submission_order",
+]
+
+#: scheduler selection: "cost" (default; manifest-weighted LPT) or
+#: "hash" (PR 5's pure content-hash round-robin)
+SCHEDULER_ENV = "REPRO_SWEEP_SCHEDULER"
+SCHEDULER_COST = "cost"
+SCHEDULER_HASH = "hash"
+
+
+def resolve_scheduler(name: str | None = None) -> str:
+    """An explicit scheduler name, else ``REPRO_SWEEP_SCHEDULER``, else
+    cost-weighted."""
+    from repro.experiments.sweep import SweepError  # deferred: cycle-safe
+
+    if name is None:
+        name = os.environ.get(SCHEDULER_ENV, "").strip().lower() or SCHEDULER_COST
+    if name not in (SCHEDULER_COST, SCHEDULER_HASH):
+        raise SweepError(
+            f"unknown scheduler {name!r} (known: {SCHEDULER_COST}, {SCHEDULER_HASH})"
+        )
+    return name
+
+
+# ----------------------------------------------------------------------
+# weights
+# ----------------------------------------------------------------------
+def base_label(label: str) -> str:
+    """A manifest label with its routing tag stripped.
+
+    ``JobSpec.tag`` labels results without changing them, so cost
+    history must pool ``gups/neomem[#seed3]`` with ``gups/neomem`` — a
+    tag difference can never move a job between shards.
+    """
+    return label.split("[", 1)[0]
+
+
+def runtime_history(cache_dir: str | os.PathLike | None) -> dict[str, float]:
+    """Mean measured wall clock per base label from a cache directory's
+    ``MANIFEST.jsonl`` (empty without a cache directory or manifest).
+
+    Prefers the worker-measured ``wall_s`` field; older manifests only
+    carry ``runtime_s`` (*simulated* seconds), still a usable relative
+    cost signal within one history.
+    """
+    if cache_dir is None:
+        return {}
+    from repro.telemetry import read_manifest  # deferred: keep import light
+
+    try:
+        records = read_manifest(cache_dir)
+    except Exception:
+        return {}
+    sums: dict[str, list[float]] = {}
+    for record in records:
+        label = record.get("label")
+        if not isinstance(label, str) or not label:
+            continue
+        value = record.get("wall_s")
+        if not isinstance(value, (int, float)):
+            value = record.get("runtime_s")
+        if not isinstance(value, (int, float)) or value <= 0:
+            continue
+        sums.setdefault(base_label(label), []).append(float(value))
+    return {label: sum(vals) / len(vals) for label, vals in sums.items()}
+
+
+def heuristic_weight(spec) -> float:
+    """Cold-cache cost estimate: RSS pages x batches, from the spec alone.
+
+    Simulated wall clock is dominated by accesses processed, and the
+    access count scales with the workload's page footprint times its
+    batch count — both pure functions of the spec, so every host agrees.
+    """
+    from repro.experiments.runner import workload_pages  # deferred: cycle-safe
+
+    config = spec.resolved_config()
+    try:
+        pages = int(spec.workload_overrides.get("num_pages", 0))
+        if pages <= 0:
+            pages = workload_pages(spec.workload, config)
+        batches = int(spec.workload_overrides.get("total_batches", 0))
+        if batches <= 0:
+            batches = config.batches
+    except Exception:
+        pages, batches = config.num_pages, config.batches
+    return float(max(1, pages)) * float(max(1, batches))
+
+
+def job_weights(
+    specs: Sequence,
+    keys: Sequence[str],
+    history: Mapping[str, float] | None = None,
+) -> dict[str, float]:
+    """Per-key cost weights for a job batch, in input order.
+
+    Measured history is all-or-nothing: it only applies when it covers
+    every base label in the batch, because measured seconds and
+    heuristic page counts live on incomparable scales.  Duplicate keys
+    (replicas resolving to one identity) keep the first spec's weight —
+    equal identities have equal weights by construction.
+    """
+    history = history or {}
+    labels = [base_label(spec.label()) for spec in specs]
+    measured = bool(labels) and all(label in history for label in labels)
+    weights: dict[str, float] = {}
+    for spec, key, label in zip(specs, keys, labels):
+        if key in weights:
+            continue
+        weights[key] = history[label] if measured else heuristic_weight(spec)
+    return weights
+
+
+# ----------------------------------------------------------------------
+# LPT packing
+# ----------------------------------------------------------------------
+def lpt_assignment(weights: Mapping[str, float], num_shards: int) -> dict[str, int]:
+    """Place unique job keys on shards, heaviest first, least-loaded wins.
+
+    A pure function of ``(weights, num_shards)``: keys are visited in
+    sorted ``(-weight, key)`` order and load ties break to the lowest
+    shard index, so the partition is deterministic, disjoint, exhaustive
+    and independent of any input ordering.
+    """
+    from repro.experiments.sweep import SweepError  # deferred: cycle-safe
+
+    if num_shards < 1:
+        raise SweepError(f"num_shards must be >= 1, got {num_shards}")
+    loads = [0.0] * num_shards
+    assignment: dict[str, int] = {}
+    for key in sorted(weights, key=lambda k: (-weights[k], k)):
+        shard = min(range(num_shards), key=lambda s: (loads[s], s))
+        assignment[key] = shard
+        loads[shard] += weights[key]
+    return assignment
+
+
+def submission_order(keys: Sequence[str], weights: Mapping[str, float] | None) -> list[int]:
+    """Indices into ``keys`` ordered heaviest-first (LPT submission).
+
+    Ties (and the no-weights case) preserve key order, so the pool's
+    default remains stable FIFO when costs are unknown or equal.
+    """
+    if not weights:
+        return list(range(len(keys)))
+    return sorted(
+        range(len(keys)),
+        key=lambda i: (-weights.get(keys[i], 0.0), keys[i]),
+    )

@@ -57,7 +57,13 @@ import numpy as np
 
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
 from repro.experiments.runner import run_one
-from repro.telemetry import append_manifest, get_telemetry, manifest_record
+from repro.telemetry import (
+    MODE_METRICS,
+    Telemetry,
+    append_manifest,
+    get_telemetry,
+    manifest_record,
+)
 
 __all__ = [
     "JobSpec",
@@ -372,6 +378,9 @@ class SweepStats:
     deduplicated: int = 0
     #: jobs left to other shards by a ShardedBackend
     shard_skipped: int = 0
+    #: accumulated dispatch-overhead ns by phase (``trace_build``,
+    #: ``job_pickle``, ``shm_attach``, ``worker_warmup``)
+    dispatch_ns: dict = field(default_factory=dict)
 
 
 class SweepExecutor:
@@ -465,11 +474,48 @@ class SweepExecutor:
                     continue
                 pending[key] = spec
         if pending:
-            with tel.span("sweep.dispatch"):
-                executed = self.backend.execute(
-                    list(pending.values()), self.unpicklable, keys=list(pending)
+            from repro.experiments import traceplane
+            from repro.experiments.scheduling import job_weights, runtime_history
+
+            # weights cover the run's FULL key set (not just pending):
+            # sharded assignment must split a partially cached grid
+            # exactly like the uncached full list, or shards with
+            # divergent caches would leave coverage gaps
+            weights = job_weights(jobs, keys, runtime_history(self.cache_dir))
+            dispatch_ns: dict[str, int] = {}
+            plane = None
+            plane_table = None
+            if self.backend.uses_plane and traceplane.plane_enabled():
+                build_tel = Telemetry(MODE_METRICS)
+                with build_tel.span("trace_build"):
+                    plane = traceplane.publish_for(pending.values())
+                dispatch_ns["trace_build"] = build_tel.phase_totals().get(
+                    "trace_build", 0
                 )
-            for key, result in zip(pending, executed):
+                plane_table = plane.table()
+            try:
+                with tel.span("sweep.dispatch"):
+                    executed = self.backend.execute(
+                        list(pending.values()),
+                        self.unpicklable,
+                        keys=list(pending),
+                        weights=weights,
+                        plane_table=plane_table,
+                    )
+            finally:
+                # deterministic segment teardown, even when a job (or
+                # the pool itself) blew up: workers keep their existing
+                # mappings, /dev/shm keeps nothing
+                if plane is not None:
+                    plane.release()
+            for phase, ns in self.backend.last_dispatch_ns.items():
+                dispatch_ns[phase] = dispatch_ns.get(phase, 0) + ns
+            for phase, ns in dispatch_ns.items():
+                self.stats.dispatch_ns[phase] = (
+                    self.stats.dispatch_ns.get(phase, 0) + ns
+                )
+            walls = self.backend.last_job_wall_ns
+            for i, (key, result) in enumerate(zip(pending, executed)):
                 results[key] = result
                 if is_shard_skipped(result):
                     self.stats.shard_skipped += 1
@@ -479,7 +525,12 @@ class SweepExecutor:
                 if self.cache_dir is not None:
                     self.stats.cache_misses += 1
                 self._cache_store(key, result)
-                self._manifest_store(key, pending[key], result)
+                self._manifest_store(
+                    key,
+                    pending[key],
+                    result,
+                    wall_ns=walls[i] if i < len(walls) else None,
+                )
                 self.stats.executed += 1
         out = [results[key] for key in keys]
         if not allow_partial and any(is_shard_skipped(r) for r in out):
@@ -493,6 +544,19 @@ class SweepExecutor:
 
     def __call__(self, jobs: Sequence[JobSpec]) -> list:
         return self.run(jobs)
+
+    def close(self) -> None:
+        """Release backend resources (the warm worker pool).  Idempotent;
+        an executor keeps working after ``close`` — the next parallel
+        ``run`` simply pays pool startup again."""
+        self.backend.close()
+
+    def __enter__(self) -> "SweepExecutor":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
 
     def is_cached(self, spec: JobSpec) -> bool:
         """True when this spec's result is already in the on-disk cache
@@ -530,19 +594,26 @@ class SweepExecutor:
             pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
         os.replace(tmp, path)
 
-    def _manifest_store(self, key: str, spec: JobSpec, result) -> None:
+    def _manifest_store(
+        self, key: str, spec: JobSpec, result, wall_ns: int | None = None
+    ) -> None:
         """Append a provenance record next to the cache entry just stored.
 
         The manifest (``MANIFEST.jsonl``) records what produced each
-        cached result — job key, label, seed, git revision, and (on
-        telemetry runs) per-phase wall-clock totals — so a cache
-        directory is auditable after the fact and across shard merges.
+        cached result — job key, label, seed, git revision, measured
+        wall clock, and (on telemetry runs) per-phase totals — so a
+        cache directory is auditable after the fact and the cost
+        scheduler (:mod:`repro.experiments.scheduling`) can mine real
+        per-job runtimes out of it.
         """
         if self.cache_dir is None:
             return
+        wall_s = wall_ns / 1e9 if wall_ns else None
         append_manifest(
             self.cache_dir,
-            manifest_record(key, spec.label(), spec.resolved_config().seed, result),
+            manifest_record(
+                key, spec.label(), spec.resolved_config().seed, result, wall_s=wall_s
+            ),
         )
 
 

@@ -54,10 +54,21 @@ TRAJECTORY_SCHEMA = 2
 TRACKED_METRICS = {
     "serial_s": "lower",
     "parallel_s": "lower",
+    "parallel_warm_s": "lower",
     "speedup": "higher",
+    "speedup_warm": "higher",
     "epochs_per_sec": "higher",
+    "warm_replay_s": "lower",
     "cache_hit_rate": "higher",
 }
+
+#: metrics that only mean anything with >= 2 CPUs behind the pool.  On a
+#: 1-CPU runner a "parallel regression" measures the machine, not the
+#: code, so records tagged ``effective_parallel: false`` neither gate
+#: these metrics nor feed their comparison history.
+PARALLEL_METRICS = frozenset(
+    {"parallel_s", "parallel_warm_s", "speedup", "speedup_warm"}
+)
 
 
 def load_trajectory(path: str | os.PathLike) -> list[dict]:
@@ -136,6 +147,12 @@ def evaluate_gate(
     the gate reports but exits 0, accumulating history instead of
     blocking on statistics it does not yet have.
 
+    Parallel-speedup metrics (:data:`PARALLEL_METRICS`) are only gated
+    when the newest record's ``effective_parallel`` flag is not false —
+    a 1-CPU runner cannot regress a speedup, it can only fail to express
+    one — and their comparison bands exclude priors measured without
+    real parallelism.
+
     A record carrying ``"baseline_reset": true`` marks a deliberate
     performance-baseline change (a major optimization or a bench-config
     change): comparison history restarts there.  Records before the most
@@ -164,10 +181,26 @@ def evaluate_gate(
             f"only {len(priors)} prior record(s) (< {min_records}): "
             "verdicts are advisory, exit 0"
         )
+    newest_parallel_ok = newest.get("effective_parallel") is not False
+    if not newest_parallel_ok:
+        lines.append(
+            "effective_parallel=false (runner lacks the CPUs): "
+            "parallel metrics are informational, not gated"
+        )
     regressed = False
     for metric, direction in TRACKED_METRICS.items():
+        if metric in PARALLEL_METRICS:
+            if not newest_parallel_ok:
+                continue
+            # priors measured without real parallelism would poison the
+            # band; legacy records (no flag) predate the tag and gated
+            prior_pool = [r for r in priors if r.get("effective_parallel") is not False]
+        else:
+            prior_pool = priors
         value = newest.get(metric)
-        prior_values = [r[metric] for r in priors if isinstance(r.get(metric), (int, float))]
+        prior_values = [
+            r[metric] for r in prior_pool if isinstance(r.get(metric), (int, float))
+        ]
         if not isinstance(value, (int, float)) or len(prior_values) < 2:
             continue
         stats = replica_stats(prior_values)

@@ -113,13 +113,16 @@ def manifest_record(
     label: str,
     seed: int | None,
     result=None,
+    wall_s: float | None = None,
 ) -> dict:
     """One manifest line for an executed sweep job.
 
     ``key`` is :func:`~repro.experiments.sweep.job_key` — the stable
     content hash of the job's full configuration.  Per-phase totals are
     lifted from the result's telemetry annotations when the run
-    collected them.
+    collected them.  ``wall_s`` is the worker-measured real wall clock
+    of the job (``runtime_s`` is *simulated* seconds) — the signal the
+    cost-weighted scheduler mines for LPT weights.
     """
     record: dict = {
         "key": key,
@@ -128,6 +131,7 @@ def manifest_record(
         "git_rev": git_revision(),
         "phase_ns": None,
         "runtime_s": None,
+        "wall_s": float(wall_s) if isinstance(wall_s, (int, float)) else None,
     }
     annotations = getattr(result, "annotations", None)
     if isinstance(annotations, dict):

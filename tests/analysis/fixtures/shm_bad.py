@@ -1,0 +1,18 @@
+"""SHM bad fixture: bare SharedMemory constructions outside the
+trace plane — every one is an unowned /dev/shm segment."""
+
+import multiprocessing.shared_memory
+from multiprocessing import shared_memory
+from multiprocessing.shared_memory import SharedMemory
+
+
+def create_unowned(nbytes):
+    return SharedMemory(create=True, size=nbytes)  # SHM001
+
+
+def attach_unowned(name):
+    return shared_memory.SharedMemory(name=name)  # SHM001
+
+
+def fully_dotted(nbytes):
+    return multiprocessing.shared_memory.SharedMemory(create=True, size=nbytes)  # SHM001

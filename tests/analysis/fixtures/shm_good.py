@@ -1,0 +1,15 @@
+"""SHM good fixture: segments only through the trace plane's registry."""
+
+from repro.experiments import traceplane
+
+
+def publish(specs):
+    plane = traceplane.TracePlane()
+    try:
+        return plane.table()
+    finally:
+        plane.release()
+
+
+def attach_in_worker(key):
+    return traceplane.worker_trace(key)

@@ -102,6 +102,49 @@ class TestGate:
         assert evaluate_gate(records, min_records=3, slack=0.0).exit_code == 1
 
 
+class TestEffectiveParallelGating:
+    """ISSUE satellite: parallel-speedup metrics are not gated on
+    runners that cannot express parallelism."""
+
+    def test_one_cpu_speedup_regression_is_not_gated(self):
+        records = [rec(speedup=2.0)] * 4 + [
+            rec(speedup=0.4, effective_parallel=False)
+        ]
+        verdict = evaluate_gate(records, min_records=3)
+        assert verdict.ok
+        assert any("effective_parallel" in line for line in verdict.lines)
+
+    def test_multi_cpu_speedup_regression_still_fails(self):
+        records = [rec(speedup=2.0, effective_parallel=True)] * 4 + [
+            rec(speedup=0.4, effective_parallel=True)
+        ]
+        assert evaluate_gate(records, min_records=3).exit_code == 1
+
+    def test_non_parallel_priors_do_not_feed_the_band(self):
+        """Speedups measured on 1-CPU runners would drag the band down
+        and mask a real multi-CPU regression."""
+        records = (
+            [rec(speedup=0.4, effective_parallel=False)] * 3
+            + [rec(speedup=2.0, effective_parallel=True)] * 4
+            + [rec(speedup=0.9, effective_parallel=True)]
+        )
+        assert evaluate_gate(records, min_records=3).exit_code == 1
+
+    def test_serial_metrics_still_gate_on_one_cpu(self):
+        records = [rec(serial_s=1.0)] * 4 + [
+            rec(serial_s=5.0, effective_parallel=False)
+        ]
+        assert evaluate_gate(records, min_records=3).exit_code == 1
+
+    def test_legacy_records_without_flag_still_gate(self):
+        records = [rec(speedup=2.0)] * 4 + [rec(speedup=0.4)]
+        assert evaluate_gate(records, min_records=3).exit_code == 1
+
+    def test_warm_replay_regression_gates(self):
+        records = [rec(warm_replay_s=0.1)] * 4 + [rec(warm_replay_s=2.0)]
+        assert evaluate_gate(records, min_records=3).exit_code == 1
+
+
 class TestCli:
     def test_gate_cli_soft_then_hard(self, tmp_path, capsys):
         path = tmp_path / "BENCH.json"
