@@ -1,0 +1,25 @@
+"""KV-cache tiering: context length x placement x tier mode."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import kvcache
+
+
+def test_kvcache_tiering(benchmark, bench_config, sweep):
+    rows = run_once(benchmark, kvcache.run_kvcache, bench_config, executor=sweep)
+    print()
+    print(kvcache.format_kvcache(rows))
+    by_point = {}
+    for row in rows:
+        by_point.setdefault((row["context"], row["tier_mode"]), {})[row["policy"]] = row
+    for point, policies in by_point.items():
+        # the oracle's acceptance bar: beat static placement everywhere
+        assert (
+            policies["lookahead"]["fast_hit_ratio"]
+            > policies["first-touch"]["fast_hit_ratio"]
+        ), point
+    # inclusive tiers never slow the oracle down: shadowed demotions are
+    # free drops, and placement decisions are mode-independent
+    for context in kvcache.CONTEXTS:
+        excl = by_point[(context, "exclusive")]["lookahead"]
+        incl = by_point[(context, "inclusive")]["lookahead"]
+        assert incl["decode_step_us"] <= excl["decode_step_us"], context

@@ -74,6 +74,9 @@ class ExperimentConfig:
     #: its real-machine value while preserving the cost ordering
     #: between techniques.
     overhead_scale: float = 1.0 / 32.0
+    #: tier residency semantics ("exclusive" or "inclusive"); see
+    #: :class:`repro.memsim.migration.MigrationConfig`
+    tier_mode: str = "exclusive"
 
     # ------------------------------------------------------------------
     @property
@@ -97,6 +100,7 @@ class ExperimentConfig:
             quota_bytes_per_s=self.quota_bytes_per_s,
             page_copy_ns=2_000.0 * self.overhead_scale,
             huge_page_copy_ns=160_000.0 * self.overhead_scale,
+            tier_mode=self.tier_mode,
         )
         defaults = dict(
             batch_size=self.batch_size,
@@ -142,6 +146,9 @@ class ExperimentConfig:
     def with_ratio(self, fast: int, slow: int) -> "ExperimentConfig":
         return replace(self, ratio=(fast, slow))
 
+    def with_tier_mode(self, tier_mode: str) -> "ExperimentConfig":
+        return replace(self, tier_mode=tier_mode)
+
 
 #: the default configuration used by Figs. 11/13/14/15/17
 DEFAULT_CONFIG = ExperimentConfig()
@@ -161,4 +168,5 @@ WORKLOAD_RSS_FACTOR = {
     "gups": 0.80,
     "deathstarbench": 1.00,
     "redis": 0.90,
+    "kvcache": 1.25,
 }

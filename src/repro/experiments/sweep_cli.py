@@ -70,6 +70,19 @@ def _colocation_jobs(config: ExperimentConfig, args) -> list[JobSpec]:
     return colocation.colocation_sweep_jobs(config=config) + solo_jobs
 
 
+def _kvcache_jobs(config: ExperimentConfig, args) -> list[JobSpec]:
+    # a CI-sized slice of experiments/kvcache.py's grid: both tier
+    # modes, the short/long context extremes, static baseline + one
+    # reactive profiler + the oracle — 12 jobs
+    from repro.experiments import kvcache
+
+    return kvcache.kvcache_jobs(
+        config,
+        contexts=(0.125, 0.5),
+        strategies=("first-touch", "tpp", "lookahead"),
+    )
+
+
 #: named job sets runnable from the shell; each maps (config, args) to
 #: the JobSpec list the matching Python harness would enumerate, and
 #: declares which subset flags it honours (the rest are rejected — a
@@ -79,6 +92,7 @@ JOB_SETS = {
     "fig11": (_fig11_jobs, frozenset({"workloads"})),
     "fig12": (_fig12_jobs, frozenset({"workloads", "ratios"})),
     "colocation": (_colocation_jobs, frozenset()),
+    "kvcache": (_kvcache_jobs, frozenset()),
 }
 
 

@@ -73,6 +73,23 @@ class MigrationConfig:
     huge_page_copy_ns: float = 160_000.0
     #: demotion headroom: promotions keep this fraction of the fast node free.
     fast_free_target: float = 0.02
+    #: Tier residency semantics.  ``"exclusive"`` (the default, and the
+    #: only behaviour before tier modes existed): a page lives in exactly
+    #: one tier; promotion releases the slow-tier frame.  ``"inclusive"``:
+    #: promotion *keeps* the slow-tier frame reserved as a shadow copy
+    #: (CPU-cache-style inclusion, counted against slow capacity), so a
+    #: later demotion of a still-shadowed page is a free drop — no copy,
+    #: no quota — because the slow copy never went stale.  That is sound
+    #: for write-once traffic (KV-cache blocks are immutable after
+    #: append) and is exactly the HBM-inclusive mode of the KV-placement
+    #: simulators this repo's kvcache workload ports.
+    tier_mode: str = "exclusive"
+
+    def __post_init__(self) -> None:
+        if self.tier_mode not in ("exclusive", "inclusive"):
+            raise ValueError(
+                f"tier_mode must be 'exclusive' or 'inclusive', got {self.tier_mode!r}"
+            )
 
 
 def _dedup_keep_order(pages: np.ndarray, scratch: np.ndarray | None = None) -> np.ndarray:
@@ -122,6 +139,17 @@ class MigrationEngine:
         self._window_drained = False
         self._dedup_scratch = np.zeros(page_table.num_pages, dtype=np.int32)
         self._member_scratch = np.zeros(page_table.num_pages, dtype=bool)
+        self._inclusive = self.config.tier_mode == "inclusive"
+        # inclusive mode: which slow node still holds each fast-resident
+        # page's shadow frame (-1 = none); stays all -1 in exclusive mode
+        self._shadow_node = np.full(page_table.num_pages, -1, dtype=np.int16)
+
+    @property
+    def shadow_node(self) -> np.ndarray:
+        """Read-only view of the inclusive-mode shadow map (tests/metrics)."""
+        view = self._shadow_node.view()
+        view.flags.writeable = False
+        return view
 
     # ------------------------------------------------------------------
     # quota
@@ -191,11 +219,16 @@ class MigrationEngine:
                 return 0
 
             src_nodes = self.page_table.nodes_of(movable)
-            # per-node release counts via one O(n) bincount; the node
-            # space is tiny, so this beats np.unique's sort
-            node_counts = np.bincount(src_nodes, minlength=len(self.topology.nodes))
-            for node_id in np.nonzero(node_counts)[0]:  # repro: noqa HOT004 — iterates distinct NUMA nodes (a handful), not pages
-                self.topology[int(node_id)].tier.release(int(node_counts[node_id]))
+            if self._inclusive:
+                # the slow frame stays reserved as the shadow copy; the
+                # copy itself (quota + stall) is still paid in full
+                self._shadow_node[movable] = src_nodes
+            else:
+                # per-node release counts via one O(n) bincount; the node
+                # space is tiny, so this beats np.unique's sort
+                node_counts = np.bincount(src_nodes, minlength=len(self.topology.nodes))
+                for node_id in np.nonzero(node_counts)[0]:  # repro: noqa HOT004 — iterates distinct NUMA nodes (a handful), not pages
+                    self.topology[int(node_id)].tier.release(int(node_counts[node_id]))
             fast.reserve(movable.size)
             self.page_table.map_pages(movable, self.topology.fast_node.node_id)
 
@@ -262,9 +295,12 @@ class MigrationEngine:
                 if fast.free_pages - headroom < slow_members.size:
                     break
                 src_nodes = self.page_table.nodes_of(slow_members)
-                node_counts = np.bincount(src_nodes, minlength=len(self.topology.nodes))
-                for node_id in np.nonzero(node_counts)[0]:  # repro: noqa HOT004 — iterates distinct NUMA nodes (a handful), not pages
-                    self.topology[int(node_id)].tier.release(int(node_counts[node_id]))
+                if self._inclusive:
+                    self._shadow_node[slow_members] = src_nodes
+                else:
+                    node_counts = np.bincount(src_nodes, minlength=len(self.topology.nodes))
+                    for node_id in np.nonzero(node_counts)[0]:  # repro: noqa HOT004 — iterates distinct NUMA nodes (a handful), not pages
+                        self.topology[int(node_id)].tier.release(int(node_counts[node_id]))
                 fast.reserve(slow_members.size)
                 self.page_table.map_pages(slow_members, self.topology.fast_node.node_id)
                 demoted_before = self.page_table.demoted_mask(slow_members)
@@ -312,10 +348,19 @@ class MigrationEngine:
             movable = pages[nodes == self.topology.fast_node.node_id]
             if movable.size == 0:
                 return 0
+            dropped = 0
+            if self._inclusive:
+                shadows = self._shadow_node[movable]
+                held = shadows >= 0
+                if held.any():
+                    dropped = self._drop_to_shadow(movable[held], shadows[held])
+                    movable = movable[~held]
+                if movable.size == 0:
+                    return dropped
             if charge_quota:
                 granted = self._charge_quota(movable.size, PAGE_SIZE)
                 if granted == 0:
-                    return 0
+                    return dropped
                 movable = movable[:granted]
 
             if target_node is None:
@@ -347,7 +392,27 @@ class MigrationEngine:
                     quota_bytes=moved * PAGE_SIZE if charge_quota else 0,
                     reclaim=not charge_quota,
                 )
-            return moved
+            return moved + dropped
+
+    def _drop_to_shadow(self, pages: np.ndarray, shadows: np.ndarray) -> int:
+        """Inclusive-mode demotion of still-shadowed pages: a free drop.
+
+        The slow frame was never released at promotion and the data never
+        changed (write-once KV traffic), so "demotion" is just remapping
+        the page back to its shadow node — no copy stall, no quota, no
+        slow-tier reservation (the frame is already held).
+        """
+        node_counts = np.bincount(shadows, minlength=len(self.topology.nodes))
+        for node_id in np.nonzero(node_counts)[0]:  # repro: noqa HOT004 — iterates distinct NUMA nodes (a handful), not pages
+            self.page_table.map_pages(pages[shadows == node_id], int(node_id))
+        self.topology.fast_node.tier.release(pages.size)
+        self.page_table.mark_demoted(pages)
+        self.lru.forget(pages)
+        self._shadow_node[pages] = -1
+        dropped = int(pages.size)
+        self.stats.demoted_pages += dropped
+        self._audit("migration.shadow_drop", pages=dropped, quota_bytes=0)
+        return dropped
 
     def coldest_victims(self, count: int, member_mask: np.ndarray) -> np.ndarray:
         """Reclaim candidates within ``member_mask``, coldest first.

@@ -12,6 +12,7 @@ from repro.workloads.btree import BtreeWorkload
 from repro.workloads.bwaves import BwavesWorkload
 from repro.workloads.deathstarbench import DeathStarBenchWorkload
 from repro.workloads.gups import GupsWorkload
+from repro.workloads.kvcache import KVCacheWorkload, KVGeometry
 from repro.workloads.pagerank import PageRankWorkload
 from repro.workloads.redis import RedisWorkload
 from repro.workloads.registry import BENCHMARKS, make_workload, workload_names
@@ -30,6 +31,8 @@ __all__ = [
     "GupsWorkload",
     "DeathStarBenchWorkload",
     "RedisWorkload",
+    "KVCacheWorkload",
+    "KVGeometry",
     "BENCHMARKS",
     "make_workload",
     "workload_names",

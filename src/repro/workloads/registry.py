@@ -9,6 +9,7 @@ from repro.workloads.btree import BtreeWorkload
 from repro.workloads.bwaves import BwavesWorkload
 from repro.workloads.deathstarbench import DeathStarBenchWorkload
 from repro.workloads.gups import GupsWorkload
+from repro.workloads.kvcache import KVCacheWorkload
 from repro.workloads.pagerank import PageRankWorkload
 from repro.workloads.redis import RedisWorkload
 from repro.workloads.roms import RomsWorkload
@@ -25,6 +26,7 @@ _FACTORIES: dict[str, Callable[..., TraceWorkload]] = {
     "gups": GupsWorkload,
     "deathstarbench": DeathStarBenchWorkload,
     "redis": RedisWorkload,
+    "kvcache": KVCacheWorkload,
 }
 
 #: the eight benchmarks of Fig. 11, in the paper's plotting order
@@ -41,7 +43,7 @@ BENCHMARKS = (
 
 
 def workload_names() -> tuple[str, ...]:
-    """All registered workload names (benchmarks + redis)."""
+    """All registered workload names (benchmarks + redis + kvcache)."""
     return tuple(_FACTORIES)
 
 

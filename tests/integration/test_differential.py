@@ -46,7 +46,7 @@ REGEN = os.environ.get("REPRO_REGEN_GOLDEN", "") not in ("", "0")
 #: policy promotes, demotes and (for THP variants) huge-promotes
 DIFF_CONFIG = ExperimentConfig(num_pages=8192, batches=12, batch_size=8192)
 
-WORKLOADS = ("gups", "silo")
+WORKLOADS = ("gups", "silo", "kvcache")
 SEEDS = (2024, 31337)
 
 #: (fixture label, registry name, policy_kwargs builder) — the registry
@@ -60,6 +60,19 @@ CASES = [
     (workload, label, registry_name, kwargs_builder, seed)
     for workload in WORKLOADS
     for (label, registry_name, kwargs_builder) in VARIANTS
+    for seed in SEEDS
+] + [
+    # the KV-cache oracle and the inclusive tier mode are kvcache-only
+    # contracts: lookahead's geometry kwargs would be meaningless on the
+    # paper workloads, and inclusive shadow drops only matter where a
+    # policy actually churns placement
+    ("kvcache", "lookahead", "lookahead", None, seed)
+    for seed in SEEDS
+] + [
+    # "-inclusive" in the label switches the config's tier_mode; the
+    # fixture locks the shadow-drop accounting (free demotions of
+    # still-clean duplicated blocks) down to the epoch counters
+    ("kvcache", "lookahead-inclusive", "lookahead", None, seed)
     for seed in SEEDS
 ]
 
@@ -134,6 +147,8 @@ def test_report_matches_golden(case):
         batch_size=DIFF_CONFIG.batch_size,
         seed=seed,
     )
+    if label.endswith("-inclusive"):
+        config = config.with_tier_mode("inclusive")
     policy_kwargs = kwargs_builder(config) if kwargs_builder is not None else None
     report = run_one(workload, registry_name, config, policy_kwargs=policy_kwargs)
     digest = report_digest(report)
